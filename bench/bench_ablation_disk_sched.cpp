@@ -1,0 +1,76 @@
+// Ablation: disk request scheduling under load.  The paper's Table 2 uses
+// a flat average access cost; under the deep queues that network RAM and
+// xFS storage daemons generate, the elevator (SCAN/LOOK) discipline
+// meaningfully beats FIFO — one of the knobs a NOW storage node has that a
+// dumb hardware RAID box does not.
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "os/disk.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace now;
+
+struct Result {
+  double mean_response_ms;
+  double p95_response_ms;
+  double completion_s;
+};
+
+Result run(os::DiskSched sched, int depth) {
+  sim::Engine eng;
+  os::DiskParams p;
+  p.scheduler = sched;
+  p.distance_seek = true;
+  os::Disk disk(eng, p);
+  sim::Pcg32 rng(41);
+  // A closed workload: `depth` outstanding random 8 KB reads, each
+  // completion immediately issuing a new one, 400 total.
+  int issued = 0, completed = 0;
+  const int total = 400;
+  sim::Histogram response_ms(0.1);
+  std::function<void()> issue = [&] {
+    if (issued == total) return;
+    ++issued;
+    const std::uint64_t off = rng.next_below(120'000) * 8192ull;
+    const sim::SimTime t0 = eng.now();
+    disk.read(off, 8192, [&, t0] {
+      response_ms.add(sim::to_ms(eng.now() - t0));
+      ++completed;
+      issue();
+    });
+  };
+  for (int i = 0; i < depth; ++i) issue();
+  eng.run();
+  return Result{response_ms.mean(), response_ms.percentile(0.95),
+                sim::to_sec(eng.now())};
+}
+
+}  // namespace
+
+int main() {
+  now::bench::heading(
+      "Ablation - disk scheduling (FIFO vs elevator) under queue depth",
+      "storage-node design choice; 400 random 8 KB reads, closed workload");
+
+  now::bench::row("%-8s %18s %18s %14s %14s", "depth", "FIFO mean (ms)",
+                  "SCAN mean (ms)", "FIFO done (s)", "SCAN done (s)");
+  for (const int depth : {1, 4, 8, 16, 32}) {
+    const Result fifo = run(os::DiskSched::kFifo, depth);
+    const Result scan = run(os::DiskSched::kElevator, depth);
+    now::bench::row("%-8d %18.1f %18.1f %14.2f %14.2f", depth,
+                    fifo.mean_response_ms, scan.mean_response_ms,
+                    fifo.completion_s, scan.completion_s);
+  }
+  now::bench::row("");
+  now::bench::row("expected shape: identical at depth 1; the elevator's "
+                  "advantage grows with queue");
+  now::bench::row("depth as the sweep amortizes seeks the FIFO order "
+                  "scatters.");
+  return 0;
+}

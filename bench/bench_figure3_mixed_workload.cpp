@@ -1,0 +1,68 @@
+// Figure 3: slowdown of a 32-node MPP workload (LANL CM-5 mix) overlaid on
+// a NOW that also serves interactive users, as the NOW grows.
+#include "bench_util.hpp"
+#include "glunix/overlay_sim.hpp"
+#include "trace/parallel_trace.hpp"
+#include "trace/usage_trace.hpp"
+
+int main() {
+  using namespace now;
+  now::bench::heading(
+      "Figure 3 - MPP workload overlaid on interactively-used workstations",
+      "'A Case for NOW', Figure 3 (32-node LANL CM-5 job mix + "
+      "53-DECstation usage traces -> synthetic equivalents)");
+
+  trace::UsageParams up;
+  up.workstations = 128;
+  up.duration = 12 * sim::kHour;
+  // A working weekday: calibrated so ~60 % of machines see no input at
+  // all (the paper's availability statistic).
+  up.owner_present_probability = 0.62;
+  up.mean_busy = 5 * sim::kMinute;
+  up.idle_tail_alpha = 1.15;
+  up.seed = 17;
+  const trace::UsageTrace usage(up);
+  now::bench::row("interactive trace: %.0f%% of machine-time idle under "
+                  "the 1-minute rule (paper: >60%% of workstations "
+                  "available even in daytime); %.0f%% see no input at all",
+                  100 * usage.average_idle_fraction(2 * sim::kMinute),
+                  100 * usage.fraction_always_idle());
+
+  trace::ParallelJobParams jp;
+  jp.duration = 12 * sim::kHour;
+  jp.seed = 9;
+  const auto jobs = trace::generate_parallel_jobs(jp);
+  now::bench::row("parallel trace: %zu jobs, %.0f processor-hours offered "
+                  "to a 32-node partition",
+                  jobs.size(), trace::total_processor_seconds(jobs) / 3600);
+  now::bench::row("");
+  now::bench::row("%-14s %12s %12s %10s %16s", "workstations", "slowdown",
+                  "migrations", "stalls", "owner delay");
+  for (const std::uint32_t n : {36u, 40u, 48u, 56u, 64u, 80u, 96u, 128u}) {
+    glunix::OverlayParams op;
+    op.workstations = n;
+    op.guest_memory_bytes = 64ull << 20;  // full-size rank images
+    const auto r = glunix::simulate_overlay(usage, jobs, op);
+    if (r.jobs_completed != jobs.size()) {
+      now::bench::row("%-14u %12s %12s %10s  (only %llu/%zu jobs finished)",
+                      n, "-", "-", "-",
+                      static_cast<unsigned long long>(r.jobs_completed),
+                      jobs.size());
+      continue;
+    }
+    now::bench::row("%-14u %11.2fx %12llu %10llu %14.1f s", n,
+                    r.workload_slowdown,
+                    static_cast<unsigned long long>(r.migrations),
+                    static_cast<unsigned long long>(r.stalls_for_machines),
+                    r.mean_user_delay_sec);
+  }
+  now::bench::row("");
+  now::bench::row("paper claim: at 64 workstations the 32-node MPP "
+                  "workload runs only ~10%% slower");
+  now::bench::row("             - 'like getting almost a CM-5 for free'");
+  now::bench::row("the other half of the bargain: a disturbed owner waits "
+                  "only for the freeze+save");
+  now::bench::row("(~4 s for a 64 MB guest), and the per-machine "
+                  "disturbance budget caps how often.");
+  return 0;
+}

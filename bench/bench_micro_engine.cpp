@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark): how fast is the simulator itself?
+// Event throughput of the engine, CPU scheduler churn, and the full
+// Active-Message round-trip machinery — wall-clock costs of the substrate,
+// not simulated time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "coopcache/coopcache.hpp"
+#include "coopcache/lru.hpp"
+#include "net/presets.hpp"
+#include "net/switched.hpp"
+#include "os/node.hpp"
+#include "proto/am.hpp"
+#include "proto/nic_mux.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "trace/fs_trace.hpp"
+
+namespace {
+
+using namespace now;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 10'000; ++i) {
+      eng.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(eng.schedule_at(i, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) eng.cancel(ids[i]);
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
+void BM_Pcg32Stream(benchmark::State& state) {
+  sim::Pcg32 rng(42);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += rng.next_u32();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Pcg32Stream);
+
+void BM_CpuScheduleRoundRobin(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    os::CpuParams cp;
+    cp.context_switch = 0;
+    os::Cpu cpu(eng, cp);
+    std::vector<os::ProcessId> pids(8);
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+      pids[i] = cpu.spawn("p", os::SchedClass::kBatch,
+                          [&cpu, &pids, &done, i] {
+                            cpu.compute(pids[i], 5 * sim::kSecond,
+                                        [&cpu, &pids, &done, i] {
+                                          ++done;
+                                          cpu.exit(pids[i]);
+                                        });
+                          });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_CpuScheduleRoundRobin);
+
+void BM_AmRoundTrips(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::SwitchedNetwork fabric(eng, net::myrinet());
+    proto::NicMux mux(fabric);
+    proto::AmLayer am(mux, proto::AmParams{});
+    os::Node n0(eng, 0, os::NodeParams{});
+    os::Node n1(eng, 1, os::NodeParams{});
+    mux.attach_node(n0);
+    mux.attach_node(n1);
+    const auto e0 = am.create_endpoint(n0, proto::AmLayer::Mode::kInterrupt);
+    const auto e1 = am.create_endpoint(n1, proto::AmLayer::Mode::kInterrupt);
+    int pongs = 0;
+    am.register_handler(e1, 1, [&](const proto::AmMessage&) {
+      am.send(e1, e0, 2, 16, {});
+    });
+    am.register_handler(e0, 2, [&](const proto::AmMessage&) {
+      if (++pongs < 200) am.send(e0, e1, 1, 16, {});
+    });
+    am.send(e0, e1, 1, 16, {});
+    eng.run();
+    benchmark::DoNotOptimize(pongs);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_AmRoundTrips);
+
+void BM_LruCacheOps(benchmark::State& state) {
+  coopcache::LruCache cache(1024);
+  sim::Pcg32 rng(3);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.next_below(4096);
+    if (!cache.touch(k)) cache.insert(k);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheOps);
+
+void BM_CoopCacheReplay(benchmark::State& state) {
+  trace::FsWorkloadParams wp;
+  wp.clients = 8;
+  wp.accesses_per_client = 4'000;
+  const auto accesses = trace::generate_fs_trace(wp);
+  for (auto _ : state) {
+    coopcache::CoopCacheConfig cfg;
+    cfg.clients = wp.clients;
+    cfg.client_cache_blocks = 256;
+    cfg.server_cache_blocks = 1'024;
+    cfg.policy = coopcache::Policy::kNChance;
+    coopcache::CoopCacheSim sim(cfg);
+    for (const auto& a : accesses) {
+      sim.access(a.client, a.block, a.is_write);
+    }
+    benchmark::DoNotOptimize(sim.results().disk_reads);
+  }
+  state.SetItemsProcessed(state.iterations() * accesses.size());
+}
+BENCHMARK(BM_CoopCacheReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

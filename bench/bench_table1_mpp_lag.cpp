@@ -1,0 +1,40 @@
+// Table 1: MPPs ship with microprocessors workstations had 1-2 years
+// earlier, and what that lag costs at 50 %/yr improvement.
+#include "bench_util.hpp"
+#include "models/cost.hpp"
+#include "models/techtrend.hpp"
+
+int main() {
+  using namespace now::models;
+  now::bench::heading(
+      "Table 1 - MPPs vs workstations with the same microprocessor",
+      "Anderson/Culler/Patterson, 'A Case for NOW', IEEE Micro 1995, "
+      "Table 1");
+
+  now::bench::row("%-10s %-16s %-12s %-14s %-10s %-12s", "MPP",
+                  "node processor", "MPP year", "WS year", "lag (yr)",
+                  "perf cost");
+  for (const auto& r : table1_rows()) {
+    now::bench::row("%-10s %-16s %-12.1f %-14.1f %-10.1f %.2fx",
+                    r.mpp.c_str(), r.node_processor.c_str(),
+                    r.mpp_ship_year, r.equivalent_ws_year, r.lag_years(),
+                    performance_lag_factor(r.lag_years()));
+  }
+  now::bench::row("");
+  now::bench::row("paper claim: 'a two-year lag costs more than a factor "
+                  "of two'");
+  now::bench::row("model:       2 years at 50%%/yr = %.2fx",
+                  performance_lag_factor(2.0));
+  now::bench::row("");
+  now::bench::row("price/performance divergence (80%%/yr workstation vs "
+                  "25%%/yr supercomputer):");
+  for (const double years : {1.0, 3.0, 5.0, 10.0}) {
+    now::bench::row("  after %4.0f years: %8.1fx", years,
+                    price_performance_divergence(years));
+  }
+  now::bench::row("");
+  now::bench::row("Bell's volume rule, PCs vs supercomputers at 30,000:1:");
+  now::bench::row("  predicted unit-cost advantage: %.1fx (paper: ~5x)",
+                  bell_cost_multiplier(30'000));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table 3: the impact of cooperative caching — 42 workstations with 16 MB
+// caches and a 128 MB server, trace-driven, plus the algorithm ablation
+// from the underlying study (Dahlin et al., OSDI '94).
+#include "bench_util.hpp"
+#include "coopcache/coopcache.hpp"
+#include "trace/fs_trace.hpp"
+
+int main() {
+  using namespace now;
+  now::bench::heading(
+      "Table 3 - impact of cooperative caching",
+      "'A Case for NOW', Table 3 (42 workstations, 16 MB/workstation, "
+      "128 MB server; two-day Berkeley trace -> synthetic equivalent)");
+
+  trace::FsWorkloadParams wp;
+  wp.clients = 42;
+  wp.accesses_per_client = 60'000;
+  wp.shared_blocks = 12'288;   // ~96 MB of shared executables/fonts
+  wp.private_blocks = 4'096;   // ~32 MB per-client working sets
+  wp.zipf_private = 1.10;
+  wp.shared_fraction = 0.35;
+  const auto accesses = trace::generate_fs_trace(wp);
+
+  now::bench::row("trace: %zu accesses across %u clients (40%% warm-up "
+                  "excluded from stats)",
+                  accesses.size(), wp.clients);
+  now::bench::row("");
+  now::bench::row("%-24s %12s %16s %10s %10s", "policy", "miss rate",
+                  "read response", "local", "peer");
+
+  const coopcache::CacheCosts costs;
+  for (const auto policy :
+       {coopcache::Policy::kClientServer,
+        coopcache::Policy::kGreedyForwarding,
+        coopcache::Policy::kCentrallyCoordinated,
+        coopcache::Policy::kNChance}) {
+    coopcache::CoopCacheConfig cfg;
+    cfg.clients = wp.clients;
+    cfg.client_cache_blocks = 2'048;   // 16 MB at 8 KB blocks
+    cfg.server_cache_blocks = 16'384;  // 128 MB
+    cfg.policy = policy;
+    coopcache::CoopCacheSim sim(cfg);
+    const std::size_t warm = accesses.size() * 2 / 5;
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      if (i == warm) sim.reset_stats();
+      sim.access(accesses[i].client, accesses[i].block,
+                 accesses[i].is_write);
+    }
+    const auto& r = sim.results();
+    now::bench::row("%-24s %11.1f%% %13.2f ms %9.1f%% %9.1f%%",
+                    coopcache::policy_name(policy), 100 * r.miss_rate(),
+                    r.mean_read_response_ms(costs),
+                    100 * r.local_hit_rate(),
+                    100 * static_cast<double>(r.remote_client_hits) /
+                        static_cast<double>(r.reads));
+  }
+  now::bench::row("");
+  now::bench::row("paper Table 3:  client-server       16%% miss, 2.8 ms");
+  now::bench::row("                cooperative caching  8%% miss, 1.6 ms");
+  now::bench::row("paper claim: cooperative caching halves disk reads and "
+                  "improves read performance ~80%%");
+  return 0;
+}

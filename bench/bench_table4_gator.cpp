@@ -1,0 +1,51 @@
+// Table 4: the Gator atmospheric-chemistry model's predicted execution
+// time on the C-90, the Paragon, and four NOW configurations.
+#include "bench_util.hpp"
+#include "models/gator.hpp"
+
+int main() {
+  using namespace now::models;
+  now::bench::heading(
+      "Table 4 - Gator execution-time model (Demmel-Smith)",
+      "'A Case for NOW', Table 4 (36 GFLOP, 3.9 GB input, 51 MB output)");
+
+  struct PaperRow {
+    double ode, transport, input, total;
+  };
+  const PaperRow paper[] = {
+      {7, 4, 16, 27},          {12, 24, 10, 46}, {4, 23'340, 4'030, 27'374},
+      {4, 192, 2'015, 2'211},  {4, 192, 10, 205}, {4, 8, 10, 21},
+  };
+
+  const GatorWorkload w;
+  now::bench::row("%-32s %10s %12s %10s %10s %8s", "machine", "ODE (s)",
+                  "transport", "input", "total", "$M");
+  int i = 0;
+  for (const auto& m : table4_machines()) {
+    const auto t = gator_time(w, m);
+    now::bench::row("%-32s %10.0f %12.0f %10.0f %10.0f %8.0f",
+                    m.name.c_str(), t.ode_sec, t.transport_sec, t.input_sec,
+                    t.total_sec, m.cost_millions);
+    now::bench::row("%-32s %10.0f %12.0f %10.0f %10.0f", "  (paper)",
+                    paper[i].ode, paper[i].transport, paper[i].input,
+                    paper[i].total);
+    ++i;
+  }
+  now::bench::row("");
+  now::bench::row("paper claims reproduced:");
+  const double base = gator_time(w, rs6000_ethernet_pvm()).total_sec;
+  const double c90 = gator_time(w, c90_16()).total_sec;
+  const double final_now = gator_time(w, rs6000_atm_pfs_am()).total_sec;
+  const double paragon = gator_time(w, paragon_256()).total_sec;
+  now::bench::row("  baseline NOW vs C-90:       %8.0fx slower "
+                  "('three orders of magnitude')",
+                  base / c90);
+  now::bench::row("  final NOW vs Paragon:       %8.2fx (beats it)",
+                  final_now / paragon);
+  now::bench::row("  final NOW vs C-90:          %8.2fx at %.0f%% of the "
+                  "cost",
+                  final_now / c90,
+                  100.0 * rs6000_atm_pfs_am().cost_millions /
+                      c90_16().cost_millions);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared formatting helpers for the reproduction benches.
+//
+// Every bench prints the paper's reported numbers next to the reproduced
+// ones so the comparison is visible in the raw output (EXPERIMENTS.md
+// records the same pairs).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace now::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vprintf(fmt, ap);
+  va_end(ap);
+  std::printf("\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace now::bench

@@ -1,0 +1,122 @@
+// Gator on a NOW: the paper's motivating application, twice.
+//
+// First the Demmel-Smith analytic model (Table 4) shows why the
+// infrastructure matters.  Then a scaled-down Gator — compute-heavy ODE
+// phase plus a communication-heavy transport phase — actually *runs* on
+// the simulated cluster, once with PVM-class messaging and once with
+// Active Messages, to show the same order-of-magnitude gap emerging from
+// the executable system rather than from arithmetic.
+//
+//   $ ./examples/gator_now
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "glunix/spmd.hpp"
+#include "models/gator.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace now;
+
+// Runs the mini-Gator transport phase (neighbor exchange + barrier per
+// step) on a fresh cluster and returns the wall-clock seconds.
+double run_mini_gator(proto::ProtocolCosts costs, std::uint32_t msg_bytes) {
+  ClusterConfig cfg;
+  cfg.workstations = 16;
+  cfg.fabric = Fabric::kAtm;
+  cfg.with_glunix = false;
+  cfg.am.costs = costs;
+  cfg.am.window = 64;
+  Cluster c(cfg);
+
+  glunix::SpmdParams sp;
+  sp.pattern = glunix::CommPattern::kEm3d;  // boundary exchange + barrier
+  sp.iterations = 40;
+  sp.compute_per_iteration = 10 * sim::kMillisecond;  // the ODE share
+  sp.msg_bytes = msg_bytes;
+  sim::Duration elapsed = 0;
+  glunix::SpmdApp app(c.am(), c.node_ptrs(), sp,
+                      [&](sim::Duration d) { elapsed = d; });
+  app.start();
+  c.run_until(30 * sim::kMinute);
+  return app.finished() ? sim::to_sec(elapsed) : -1;
+}
+
+// Input-phase bandwidth, executable: stream `mb` megabytes either from
+// one server disk (the sequential-file-system baseline) or from the
+// building's striped storage.
+double input_mbps(bool parallel_fs, std::uint32_t mb) {
+  ClusterConfig cfg;
+  cfg.workstations = 17;  // 1 reader + 16 storage servers
+  cfg.with_glunix = false;
+  cfg.with_xfs = true;    // brings up the storage array
+  cfg.stripe_group_size = 8;
+  Cluster c(cfg);
+  const std::uint64_t total = std::uint64_t{mb} << 20;
+  const std::uint32_t chunk = 512 * 1024;
+  auto offset = std::make_shared<std::uint64_t>(0);
+  sim::SimTime done_at = -1;
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [&c, offset, step, total, chunk, parallel_fs, &done_at] {
+    if (*offset >= total) {
+      done_at = c.engine().now();
+      c.engine().schedule_in(0, [step] { *step = nullptr; });
+      return;
+    }
+    const std::uint64_t off = *offset;
+    *offset += chunk;
+    auto cont = [step] {
+      if (*step) (*step)();
+    };
+    if (parallel_fs) {
+      c.storage_backend().read(0, off, chunk, cont);
+    } else {
+      // One server's one disk, sequentially.
+      c.node(1).disk().read(off, chunk, cont);
+    }
+  };
+  (*step)();
+  c.run();
+  return static_cast<double>(total) / (1 << 20) / sim::to_sec(done_at);
+}
+
+}  // namespace
+
+int main() {
+  using namespace now::models;
+
+  std::printf("Gator (LA-basin atmospheric chemistry) on six machines\n");
+  std::printf("------------------------------------------------------\n");
+  const GatorWorkload w;
+  std::printf("%-32s %8s %10s %8s %8s\n", "machine", "ODE", "transport",
+              "input", "total");
+  for (const auto& m : table4_machines()) {
+    const auto t = gator_time(w, m);
+    std::printf("%-32s %7.0fs %9.0fs %7.0fs %7.0fs\n", m.name.c_str(),
+                t.ode_sec, t.transport_sec, t.input_sec, t.total_sec);
+  }
+
+  std::printf("\nmini-Gator actually running on the simulated NOW "
+              "(16 nodes, ATM):\n");
+  const double pvm = run_mini_gator(now::proto::pvm(), 4096);
+  const double am = run_mini_gator(now::proto::am_medusa(), 4096);
+  std::printf("  transport phase with PVM-class messaging: %7.2f s\n", pvm);
+  std::printf("  transport phase with Active Messages:     %7.2f s\n", am);
+  std::printf("  speedup from cutting per-message overhead: %.1fx\n",
+              pvm / am);
+  std::printf("\nmini input phase, 32 MB streamed through the executable "
+              "storage stack:\n");
+  const double seq = input_mbps(false, 32);
+  const double pfs = input_mbps(true, 32);
+  std::printf("  sequential file system (one disk): %6.1f MB/s\n", seq);
+  std::printf("  parallel FS over stripe groups:    %6.1f MB/s  (%0.1fx)\n",
+              pfs, pfs / seq);
+  std::printf("\nthe paper's conclusion: good floating point + scalable "
+              "bandwidth + a parallel\nfile system + low-overhead "
+              "communication, and the NOW competes with the C-90\nat a "
+              "fraction of the cost.\n");
+  return 0;
+}

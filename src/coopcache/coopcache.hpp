@@ -1,0 +1,136 @@
+// Cooperative file caching (Dahlin et al., OSDI '94) — the study behind
+// Table 3.
+//
+// A building's client workstations manage their file caches as one large
+// cooperative cache: on a local miss, a block found in *another client's*
+// memory is fetched from there (fast) instead of from the server's disk
+// (slow).  This module is a trace-driven simulator, mirroring the paper's
+// methodology (they replayed a two-day Berkeley trace), with the algorithm
+// variants of the original study available for ablation:
+//
+//   kClientServer        — no cooperation: local cache, server cache, disk.
+//   kGreedyForwarding    — misses may be served from any client caching the
+//                          block (located via a manager directory).
+//   kCentrallyCoordinated— most of each client's cache is managed as one
+//                          global LRU coordinated by the server.
+//   kNChance             — greedy forwarding + singlets (last cached copy)
+//                          are forwarded to a random peer instead of being
+//                          dropped, recirculating up to N times.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coopcache/lru.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace now::coopcache {
+
+enum class Policy {
+  kClientServer,
+  kGreedyForwarding,
+  kCentrallyCoordinated,
+  kNChance,
+};
+
+const char* policy_name(Policy p);
+
+/// Per-level access costs.  Defaults reproduce the study's ATM-era numbers
+/// (consistent with Table 2): local memory 250 us, another client's memory
+/// 1,250 us, server memory 1,050 us, server disk 15,850 us.
+struct CacheCosts {
+  sim::Duration local_hit = sim::from_us(250);
+  sim::Duration remote_client = sim::from_us(1'250);
+  sim::Duration server_mem = sim::from_us(1'050);
+  sim::Duration server_disk = sim::from_us(15'850);
+};
+
+struct CoopCacheConfig {
+  std::uint32_t clients = 42;
+  /// 16 MB per client at 8 KB blocks.
+  std::uint32_t client_cache_blocks = 2048;
+  /// 128 MB server cache.
+  std::uint32_t server_cache_blocks = 16384;
+  Policy policy = Policy::kNChance;
+  /// N-chance recirculation count.
+  std::uint32_t nchance_limit = 2;
+  /// Centrally coordinated: fraction of each client cache under global
+  /// management.
+  double coordinated_fraction = 0.8;
+  CacheCosts costs;
+  std::uint64_t seed = 1;
+};
+
+struct CoopCacheResults {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_client_hits = 0;
+  std::uint64_t server_mem_hits = 0;
+  std::uint64_t disk_reads = 0;
+
+  double miss_rate() const {  // fraction of reads served from disk
+    return reads ? static_cast<double>(disk_reads) /
+                       static_cast<double>(reads)
+                 : 0.0;
+  }
+  double local_hit_rate() const {
+    return reads ? static_cast<double>(local_hits) /
+                       static_cast<double>(reads)
+                 : 0.0;
+  }
+  /// Mean read response time in milliseconds (Table 3's second column).
+  double mean_read_response_ms(const CacheCosts& c) const;
+};
+
+class CoopCacheSim {
+ public:
+  explicit CoopCacheSim(CoopCacheConfig config);
+
+  /// Replays one access.  Blocks are global identifiers.
+  void access(std::uint32_t client, std::uint64_t block, bool is_write);
+
+  const CoopCacheResults& results() const { return results_; }
+  const CoopCacheConfig& config() const { return config_; }
+
+  /// Clears counters but keeps cache contents — call after replaying a
+  /// warm-up prefix so results reflect steady state, as the original study
+  /// measured.
+  void reset_stats() { results_ = CoopCacheResults{}; }
+
+  /// How many clients currently cache `block` (directory fan-out).
+  std::size_t holders(std::uint64_t block) const;
+
+  /// Invariant check: the manager directory exactly mirrors the client
+  /// caches.  O(directory size).
+  bool directory_consistent() const;
+
+ private:
+  void read(std::uint32_t client, std::uint64_t block);
+  void write(std::uint32_t client, std::uint64_t block);
+  void insert_local(std::uint32_t client, std::uint64_t block);
+  void handle_eviction(std::uint32_t client, std::uint64_t victim);
+  void directory_add(std::uint64_t block, std::uint32_t client);
+  void directory_remove(std::uint64_t block, std::uint32_t client);
+  /// A client (other than `except`) caching `block`, or -1.
+  std::int64_t find_holder(std::uint64_t block, std::uint32_t except) const;
+
+  CoopCacheConfig config_;
+  sim::Pcg32 rng_;
+  std::vector<LruCache> client_caches_;
+  LruCache server_cache_;
+  /// Centrally coordinated global cache: one LRU over most of the
+  /// aggregate client memory (kCentrallyCoordinated only).
+  LruCache coordinated_;
+  /// Directory: block -> clients holding it in their local caches.
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+      directory_;
+  /// N-chance: times each at-large singlet has been forwarded.
+  std::unordered_map<std::uint64_t, std::uint32_t> recirculations_;
+  CoopCacheResults results_;
+};
+
+}  // namespace now::coopcache

@@ -1,0 +1,77 @@
+// A small intrusive-free LRU cache keyed by 64-bit block ids.
+//
+// Used by the cooperative-caching simulator for client and server caches
+// and reused by xFS's client block cache.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace now::coopcache {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+  bool full() const { return map_.size() >= capacity_; }
+
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+
+  /// Marks `key` most-recently-used.  Returns false if absent.
+  bool touch(std::uint64_t key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  /// Inserts `key` as MRU.  If the cache is full, evicts the LRU entry and
+  /// returns it via `evicted` (returns true when an eviction happened).
+  /// Inserting a present key just touches it.
+  bool insert(std::uint64_t key, std::uint64_t* evicted = nullptr) {
+    if (touch(key)) return false;
+    bool evd = false;
+    if (capacity_ == 0) return false;  // degenerate: cache disabled
+    if (map_.size() >= capacity_) {
+      const std::uint64_t victim = order_.back();
+      order_.pop_back();
+      map_.erase(victim);
+      if (evicted != nullptr) *evicted = victim;
+      evd = true;
+    }
+    order_.push_front(key);
+    map_[key] = order_.begin();
+    return evd;
+  }
+
+  /// Removes `key` if present; returns whether it was there.
+  bool erase(std::uint64_t key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  /// The least-recently-used key.  Cache must be non-empty.
+  std::uint64_t lru() const {
+    assert(!order_.empty());
+    return order_.back();
+  }
+
+  void clear() {
+    order_.clear();
+    map_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // front = MRU
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+}  // namespace now::coopcache

@@ -1,0 +1,118 @@
+#include "core/cluster.hpp"
+
+#include <cassert>
+
+#include "net/presets.hpp"
+#include "net/shared_bus.hpp"
+#include "net/switched.hpp"
+#include "netram/pager.hpp"
+
+namespace now {
+
+namespace {
+std::unique_ptr<net::Network> make_fabric(sim::Engine& engine, Fabric f,
+                                          std::uint64_t seed) {
+  switch (f) {
+    case Fabric::kEthernet:
+      return std::make_unique<net::SharedBusNetwork>(
+          engine, net::ethernet_10mbps(), seed);
+    case Fabric::kAtm:
+      return std::make_unique<net::SwitchedNetwork>(engine,
+                                                    net::atm_155mbps());
+    case Fabric::kFddiMedusa:
+      return std::make_unique<net::SwitchedNetwork>(engine,
+                                                    net::fddi_medusa());
+    case Fabric::kMyrinet:
+      return std::make_unique<net::SwitchedNetwork>(engine, net::myrinet());
+  }
+  return nullptr;
+}
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  assert(config_.workstations >= 2);
+  network_ = make_fabric(engine_, config_.fabric, config_.seed);
+  mux_ = std::make_unique<proto::NicMux>(*network_);
+  am_ = std::make_unique<proto::AmLayer>(*mux_, config_.am, config_.seed);
+  rpc_ = std::make_unique<proto::RpcLayer>(*am_);
+
+  for (std::uint32_t i = 0; i < config_.workstations; ++i) {
+    os::NodeParams p = config_.node;
+    if (p.cpu.seed == 0) p.cpu.seed = config_.seed * 1000 + i + 1;
+    nodes_.push_back(std::make_unique<os::Node>(engine_, i, p));
+    mux_->attach_node(*nodes_.back());
+    rpc_->bind(*nodes_.back());
+  }
+
+  if (config_.with_glunix) {
+    glunix_ = std::make_unique<glunix::Glunix>(*rpc_, node_ptrs(),
+                                               config_.glunix);
+    glunix_->start();
+  }
+
+  if (config_.with_xfs) {
+    for (auto& n : nodes_) raid::install_storage_service(*rpc_, *n);
+    raid::RaidParams rp = config_.raid;
+    rp.stripe_unit = config_.xfs.block_bytes;
+    const std::size_t g = config_.stripe_group_size;
+    if (g >= 2 && nodes_.size() >= 2 * g) {
+      // xFS-style stripe groups: one group per log segment band.
+      const std::uint64_t band =
+          static_cast<std::uint64_t>(config_.xfs.segment_blocks) *
+          config_.xfs.block_bytes;
+      groups_ = std::make_unique<raid::StripeGroupArray>(
+          *rpc_, node_ptrs(), rp, g, band);
+      storage_ = groups_.get();
+    } else {
+      raid_ = std::make_unique<raid::SoftwareRaid>(*rpc_, node_ptrs(), rp);
+      storage_ = raid_.get();
+    }
+    log_ = std::make_unique<xfs::LogStore>(*storage_,
+                                           config_.xfs.segment_blocks,
+                                           config_.xfs.block_bytes);
+    xfs_ = std::make_unique<xfs::Xfs>(*rpc_, *log_, node_ptrs(),
+                                      config_.xfs);
+    xfs_->start();
+  }
+
+  if (config_.with_netram_registry) {
+    registry_ = std::make_unique<netram::IdleMemoryRegistry>();
+    for (auto& n : nodes_) {
+      netram::install_donor_service(*rpc_, *n);
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<os::Node*> Cluster::node_ptrs() {
+  std::vector<os::Node*> v;
+  v.reserve(nodes_.size());
+  for (auto& n : nodes_) v.push_back(n.get());
+  return v;
+}
+
+raid::RaidStats Cluster::storage_stats() const {
+  if (groups_) return groups_->stats();
+  if (raid_) return raid_->stats();
+  return raid::RaidStats{};
+}
+
+bool Cluster::storage_degraded() const {
+  if (groups_) return groups_->degraded();
+  if (raid_) return raid_->degraded();
+  return false;
+}
+
+void Cluster::crash_node(std::uint32_t i) {
+  os::Node& n = node(i);
+  n.crash();
+  if (raid_) raid_->member_failed(n.id());
+  if (groups_) groups_->member_failed(n.id());
+  if (xfs_) xfs_->client_crashed(n.id());
+  if (registry_) registry_->donor_crashed(n.id());
+  // GLUnix discovers the death through missed heartbeats, as it would in
+  // the real system.
+}
+
+}  // namespace now

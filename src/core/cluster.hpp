@@ -1,0 +1,126 @@
+// The public face of the library: a Network Of Workstations in one object.
+//
+// Cluster wires the whole stack the paper argues for — commodity nodes, a
+// switched low-latency fabric, Active-Message transport, RPC, and
+// optionally GLUnix (global resource management), xFS (serverless file
+// service on a software RAID), and the network-RAM registry — behind one
+// configuration struct.  Examples and benches build on this instead of
+// hand-assembling layers.
+//
+//   now::ClusterConfig cfg;
+//   cfg.workstations = 100;            // the Berkeley prototype's scale
+//   cfg.with_xfs = true;
+//   now::Cluster now(cfg);
+//   now.glunix().run_remote(...);      // use somebody's idle machine
+//   now.fs().write(3, block, ...);     // serverless file service
+//   now.run();
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "glunix/glunix.hpp"
+#include "net/network.hpp"
+#include "netram/registry.hpp"
+#include "os/node.hpp"
+#include "proto/am.hpp"
+#include "proto/nic_mux.hpp"
+#include "proto/rpc.hpp"
+#include "raid/raid.hpp"
+#include "raid/stripe_groups.hpp"
+#include "sim/engine.hpp"
+#include "xfs/xfs.hpp"
+
+namespace now {
+
+enum class Fabric { kEthernet, kAtm, kFddiMedusa, kMyrinet };
+
+struct ClusterConfig {
+  std::uint32_t workstations = 32;
+  Fabric fabric = Fabric::kAtm;
+  /// Template for every node; per-node CPU seeds are derived from it so
+  /// local schedulers do not run in lockstep.
+  os::NodeParams node;
+  proto::AmParams am;
+
+  bool with_glunix = true;
+  glunix::GlunixParams glunix;
+
+  /// xFS + the software RAID + log-structured storage over all members.
+  bool with_xfs = false;
+  xfs::XfsParams xfs;
+  raid::RaidParams raid;
+  /// Storage servers per stripe group (xFS-style).  Log segments stripe
+  /// within one group, so segment-sized appends are full-stripe writes
+  /// even in a 100-node building.  0 = one RAID spanning every member.
+  std::size_t stripe_group_size = 8;
+
+  /// Idle-memory registry for network RAM (donors managed by the caller).
+  bool with_netram_registry = false;
+
+  std::uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  sim::Engine& engine() { return engine_; }
+  os::Node& node(std::uint32_t i) { return *nodes_.at(i); }
+  std::vector<os::Node*> node_ptrs();
+
+  net::Network& network() { return *network_; }
+  proto::NicMux& mux() { return *mux_; }
+  proto::AmLayer& am() { return *am_; }
+  proto::RpcLayer& rpc() { return *rpc_; }
+
+  /// Requires with_glunix.
+  glunix::Glunix& glunix() { return *glunix_; }
+  /// Require with_xfs.
+  xfs::Xfs& fs() { return *xfs_; }
+  /// The storage backend behind the log (single RAID or stripe groups).
+  raid::Storage& storage_backend() { return *storage_; }
+  /// Uniform stats/health over either backend.
+  raid::RaidStats storage_stats() const;
+  bool storage_degraded() const;
+  xfs::LogStore& log() { return *log_; }
+  /// Requires with_netram_registry.
+  netram::IdleMemoryRegistry& memory_registry() { return *registry_; }
+
+  /// Drives the simulation.
+  void run() { engine_.run(); }
+  void run_for(sim::Duration d) { engine_.run_until(engine_.now() + d); }
+  void run_until(sim::SimTime t) { engine_.run_until(t); }
+
+  /// Crashes workstation `i` and propagates the failure to every enabled
+  /// subsystem (RAID membership, xFS directory, network-RAM registry).
+  /// GLUnix notices on its own, through heartbeats.
+  void crash_node(std::uint32_t i);
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<proto::NicMux> mux_;
+  std::unique_ptr<proto::AmLayer> am_;
+  std::unique_ptr<proto::RpcLayer> rpc_;
+  std::vector<std::unique_ptr<os::Node>> nodes_;
+  std::unique_ptr<glunix::Glunix> glunix_;
+  std::unique_ptr<raid::SoftwareRaid> raid_;          // single-group mode
+  std::unique_ptr<raid::StripeGroupArray> groups_;    // grouped mode
+  raid::Storage* storage_ = nullptr;
+  std::unique_ptr<xfs::LogStore> log_;
+  std::unique_ptr<xfs::Xfs> xfs_;
+  std::unique_ptr<netram::IdleMemoryRegistry> registry_;
+};
+
+}  // namespace now

@@ -1,0 +1,77 @@
+// Collective operations over interrupt-mode Active Messages: broadcast,
+// reduce, and barrier on binomial trees.
+//
+// The paper's parallel-computing case needs more than point-to-point
+// sends: real SPMD codes are built from collectives, and their cost on a
+// NOW is exactly what LogP predicts (models/logp.hpp implements the
+// prediction; the logp and collectives tests check that the two agree).
+// These collectives use interrupt endpoints — they model system-level
+// collectives (GLUnix job control, xFS recovery broadcast), while the
+// SPMD app framework keeps its own polling-endpoint barrier for
+// application-level synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "proto/am.hpp"
+
+namespace now::glunix {
+
+/// A fixed communicator over `nodes`: rank i lives on nodes[i].
+class Collectives {
+ public:
+  using Done = std::function<void()>;
+  /// Reduction combiner over opaque per-rank contributions.
+  using Combine = std::function<double(double, double)>;
+
+  Collectives(proto::AmLayer& am, std::vector<os::Node*> nodes);
+  Collectives(const Collectives&) = delete;
+  Collectives& operator=(const Collectives&) = delete;
+
+  std::size_t size() const { return endpoints_.size(); }
+
+  /// Broadcasts `bytes` from rank `root` to every rank along a binomial
+  /// tree; `done` fires (once, at the caller) when every rank has the
+  /// data.
+  void broadcast(std::size_t root, std::uint32_t bytes, Done done);
+
+  /// Reduces every rank's `contribution` to rank 0 along the mirrored
+  /// tree; `done(value)` fires with the combined result.
+  void reduce(const std::vector<double>& contributions, Combine combine,
+              std::function<void(double)> done);
+
+  /// Barrier: reduce + broadcast of a token.
+  void barrier(Done done);
+
+ private:
+  struct Op {
+    // Broadcast bookkeeping.
+    std::size_t root = 0;
+    std::uint32_t bytes = 0;
+    std::size_t received = 0;  // non-root ranks holding the data
+    Done done;
+    // Reduce bookkeeping.
+    std::vector<double> partial;
+    std::vector<std::size_t> missing;  // children yet to report, per rank
+    Combine combine;
+    std::function<void(double)> reduce_done;
+  };
+
+  void bcast_forward(std::uint64_t op_id, std::size_t rank);
+  void reduce_send_up(std::uint64_t op_id, std::size_t rank);
+  /// Binomial-tree children of relative rank `rr` (tree rooted at 0).
+  std::vector<std::size_t> children_of(std::size_t rr) const;
+  static std::size_t parent_of(std::size_t rr);
+
+  proto::AmLayer& am_;
+  std::vector<proto::EndpointId> endpoints_;
+  std::unordered_map<std::uint64_t, Op> ops_;
+  std::uint64_t next_op_ = 1;
+
+  static constexpr proto::HandlerId kBcast = 10;
+  static constexpr proto::HandlerId kReduce = 11;
+};
+
+}  // namespace now::glunix

@@ -1,0 +1,37 @@
+// Table 2: the time to service an 8 KB file-system cache miss from remote
+// memory or remote disk, over Ethernet and over 155 Mb/s ATM.
+//
+// Four components: the software memory copy, fixed network driver
+// overhead, wire transfer of the 8 KB, and (for the disk cases) the disk
+// access itself.  The table's message: with a switched LAN, remote DRAM is
+// an order of magnitude faster than any disk — the foundation for network
+// RAM and cooperative caching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace now::models {
+
+struct AccessComponents {
+  std::string network;       // "Ethernet" or "155-Mbps ATM"
+  bool from_disk = false;    // remote disk vs remote memory
+  double memcpy_us = 250;    // software copy of 8 KB
+  double net_overhead_us = 400;
+  double transfer_us = 0;    // 8 KB on the wire
+  double disk_us = 0;        // 14,800 us when from_disk
+
+  double total_us() const {
+    return memcpy_us + net_overhead_us + transfer_us + disk_us;
+  }
+};
+
+/// The four columns of Table 2, in paper order: Ethernet remote memory,
+/// Ethernet remote disk, ATM remote memory, ATM remote disk.
+std::vector<AccessComponents> table2_rows();
+
+/// The same remote-memory totals computed from the fabric models in
+/// src/net (cross-check that the simulator agrees with the arithmetic).
+double simulated_remote_memory_us(bool atm);
+
+}  // namespace now::models

@@ -1,0 +1,63 @@
+#include "models/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace now::models {
+
+double bell_cost_multiplier(double volume_ratio) {
+  // Each doubling of volume cuts unit cost to 90 %: the low-volume product
+  // costs (1/0.9)^log2(ratio) times as much.
+  return std::pow(1.0 / 0.9, std::log2(volume_ratio));
+}
+
+double figure1_system_price(const SystemQuote& q) {
+  const int boxes = (128 + q.cpus_per_box - 1) / q.cpus_per_box;
+  const double cpus = 128.0;
+  double total = boxes * q.box_price_usd;
+  total += 128.0 * 32.0 * q.dram_per_mb_usd;  // 128 x 32 MB
+  total += 128.0 * q.disk_per_gb_usd;         // 128 x 1 GB
+  total += 128.0 * q.display_usd;             // a screen per user
+  total += cpus * q.interconnect_per_cpu_usd;
+  return total;
+}
+
+std::vector<SystemQuote> figure1_systems() {
+  std::vector<SystemQuote> v;
+
+  SystemQuote ss1{"SparcStation-10 (1 cpu)", 1, 10'000, 40, 1'000, 1'500,
+                  200};
+  SystemQuote ss2{"SparcStation-10 (2 cpu)", 2, 14'000, 40, 1'000, 1'500,
+                  200};
+  SystemQuote ss4{"SparcStation-10 (4 cpu)", 4, 22'000, 40, 1'000, 1'500,
+                  200};
+  // Servers: higher-margin chassis, server-priced DRAM and disk, X
+  // terminals on the desks, an external interconnect between boxes.
+  SystemQuote sc1000{"SparcCenter-1000 (8 cpu)", 8, 95'000, 100, 2'000,
+                     1'500, 400};
+  SystemQuote sc2000{"SparcCenter-2000 (20 cpu)", 20, 260'000, 100, 2'000,
+                     1'500, 400};
+  // MPP: one 128-node machine; the interconnect is integral, the
+  // engineering effort is amortized over very few units.
+  SystemQuote mpp{"CM-5 / CS-2 (128 nodes)", 128, 1'600'000, 150, 2'000,
+                  1'500, 0};
+
+  v.push_back(ss1);
+  v.push_back(ss2);
+  v.push_back(ss4);
+  v.push_back(sc1000);
+  v.push_back(sc2000);
+  v.push_back(mpp);
+  return v;
+}
+
+double figure1_best_price() {
+  double best = 0;
+  for (const SystemQuote& q : figure1_systems()) {
+    const double p = figure1_system_price(q);
+    if (best == 0 || p < best) best = p;
+  }
+  return best;
+}
+
+}  // namespace now::models

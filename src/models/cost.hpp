@@ -1,0 +1,53 @@
+// Cost models: Bell's volume rule and the Figure 1 price comparison.
+//
+// Figure 1 prices a fixed capability — 128 x (40 MHz SuperSparc, 32 MB
+// DRAM, 1 GB disk, a screen) plus a scalable interconnect — built six
+// ways: desktops (1-, 2-, 4-processor SparcStation-10s), large SMP servers
+// (SparcCenter-1000/2000), and 128-node MPPs (CM-5 / CS-2).  The paper's
+// finding: the servers and MPPs cost about TWICE the most cost-effective
+// workstation build, because their engineering is amortized over far fewer
+// units.  Component prices below are reconstructed from the article's
+// anchors (DRAM at $40/MB for a PC vs $600/MB for a Cray, Bell's rule) and
+// typical 1994 university pricing; the *ratios* are what Figure 1 claims.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace now::models {
+
+/// Gordon Bell's rule of thumb: doubling the manufacturing volume reduces
+/// unit cost to 90 %.  Returns the predicted cost ratio between a
+/// low-volume and a high-volume product given their volume ratio.
+double bell_cost_multiplier(double volume_ratio);
+
+/// One way of assembling the 128-processor capability.
+struct SystemQuote {
+  std::string name;
+  /// Processors per enclosure.
+  int cpus_per_box = 1;
+  /// Price of one enclosure with its CPUs (chassis, boards, packaging).
+  double box_price_usd = 0;
+  /// $/MB of DRAM in this class of machine.
+  double dram_per_mb_usd = 40;
+  /// $/GB of disk in this class of machine.
+  double disk_per_gb_usd = 1'000;
+  /// Display: built-in screen for desktops, X terminal otherwise.
+  double display_usd = 1'500;
+  /// Scalable interconnect cost per processor (switch ports, cabling);
+  /// zero when it is integral to the chassis price.
+  double interconnect_per_cpu_usd = 0;
+};
+
+/// Total price of `quote` scaled to 128 processors, 128 x 32 MB, 128 GB of
+/// disk, and 128 displays.
+double figure1_system_price(const SystemQuote& quote);
+
+/// The six systems of Figure 1, in the paper's order.
+std::vector<SystemQuote> figure1_systems();
+
+/// Price of the cheapest configuration (the paper: the 4-way SS-10).
+double figure1_best_price();
+
+}  // namespace now::models

@@ -1,0 +1,84 @@
+#include "models/logp.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace now::models {
+
+LogGpParams derive_loggp(const proto::ProtocolCosts& costs,
+                         const net::FabricParams& fabric, int processors,
+                         std::uint32_t small_bytes) {
+  LogGpParams p;
+  p.P = processors;
+  // Overhead: mean of send and receive sides for the small message.
+  p.o_us = 0.5 * (sim::to_us(costs.send_overhead(small_bytes)) +
+                  sim::to_us(costs.recv_overhead(small_bytes)));
+  // Latency: fabric transit for the small message (one serialization when
+  // cut-through, two otherwise) — the part that can overlap computation.
+  const sim::Duration ser = fabric.serialization(small_bytes);
+  p.L_us = sim::to_us((fabric.cut_through ? ser : 2 * ser) + fabric.latency);
+  // Gap: the per-message rate limit at one processor is its own protocol
+  // processing (the simulator serializes stack work per node).
+  p.g_us = sim::to_us(costs.send_overhead(small_bytes));
+  // Per-byte gap: CPU copy cost plus wire serialization, whichever path a
+  // byte takes twice (send-side copy) dominates throughput.
+  p.G_us_per_byte = costs.send_per_byte_ns / 1000.0 +
+                    8.0 / fabric.link_bandwidth_bps * 1e6;
+  return p;
+}
+
+double logp_one_way_us(const LogGpParams& p) {
+  return 2 * p.o_us + p.L_us;
+}
+
+double logp_round_trip_us(const LogGpParams& p) {
+  return 2 * logp_one_way_us(p);
+}
+
+double loggp_long_message_us(const LogGpParams& p, std::uint64_t bytes) {
+  const double body = bytes > 0 ? (static_cast<double>(bytes) - 1.0) *
+                                      p.G_us_per_byte
+                                : 0.0;
+  return 2 * p.o_us + body + p.L_us;
+}
+
+double loggp_half_power_bytes(const LogGpParams& p) {
+  // n such that n/T(n) = (1/G)/2  =>  n G = 2o + L (approximately).
+  return (2 * p.o_us + p.L_us) / p.G_us_per_byte;
+}
+
+double logp_broadcast_us(const LogGpParams& p) {
+  if (p.P <= 1) return 0.0;
+  // Greedy optimal tree: every processor that knows the value sends to a
+  // new one every max(g, o); a message sent at t is usable at
+  // t + o + L + o.
+  const double interval = std::max(p.g_us, p.o_us);
+  const double delivery = p.o_us + p.L_us + p.o_us;
+  // Min-heap of times at which informed processors can next *send*.
+  std::priority_queue<double, std::vector<double>, std::greater<>> senders;
+  senders.push(0.0);
+  double finish = 0.0;
+  for (int informed = 1; informed < p.P; ++informed) {
+    const double send_at = senders.top();
+    senders.pop();
+    const double arrives = send_at + delivery;
+    finish = std::max(finish, arrives);
+    senders.push(send_at + interval);  // the sender goes again
+    senders.push(arrives);             // the newcomer joins in
+  }
+  return finish;
+}
+
+double logp_send_train_us(const LogGpParams& p, int k) {
+  if (k <= 0) return 0.0;
+  return p.o_us + (k - 1) * std::max(p.g_us, p.o_us);
+}
+
+double logp_barrier_us(const LogGpParams& p) {
+  return 2 * logp_broadcast_us(p);
+}
+
+}  // namespace now::models

@@ -1,0 +1,67 @@
+// LogP: the paper's model of parallel computation (Culler et al., ref 3).
+//
+// "In discussing communication performance, we must distinguish the time
+// spent in the actual network hardware, called latency, from time spent in
+// the processor preparing to send or receive a message, called overhead."
+// LogP makes the distinction quantitative: L (latency), o (overhead per
+// send or receive), g (gap, the reciprocal of per-processor message
+// bandwidth), and P (processors).  LogGP adds G, the per-byte gap for long
+// messages.
+//
+// This module derives LogGP parameters from the simulator's protocol and
+// fabric models and predicts standard communication kernels analytically —
+// the same predictions the DES then validates (see logp tests).
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+#include "proto/costs.hpp"
+
+namespace now::models {
+
+struct LogGpParams {
+  /// One-way network latency (wire + switch), microseconds.
+  double L_us = 0;
+  /// CPU overhead per send or per receive, microseconds.
+  double o_us = 0;
+  /// Minimum inter-message gap at one processor (1/msg-bandwidth), us.
+  double g_us = 0;
+  /// Per-byte gap for long messages (1/bandwidth), us per byte.
+  double G_us_per_byte = 0;
+  /// Processors.
+  int P = 2;
+};
+
+/// Derives LogGP constants from a protocol cost model and a fabric, for
+/// small messages of `small_bytes`.
+LogGpParams derive_loggp(const proto::ProtocolCosts& costs,
+                         const net::FabricParams& fabric, int processors,
+                         std::uint32_t small_bytes = 64);
+
+/// One-way small-message time: o + L + o.
+double logp_one_way_us(const LogGpParams& p);
+
+/// Request/reply round trip: 2(o + L + o) — the Connect pattern's unit.
+double logp_round_trip_us(const LogGpParams& p);
+
+/// Long-message one-way time under LogGP: o + (n-1)G + L + o.
+double loggp_long_message_us(const LogGpParams& p, std::uint64_t bytes);
+
+/// Half-power message size: where achieved bandwidth is half of 1/G.
+double loggp_half_power_bytes(const LogGpParams& p);
+
+/// Optimal single-item broadcast time to all P processors: the classic
+/// LogP broadcast tree, where every informed processor keeps sending at
+/// interval max(g, o) and each transmission lands o + L + o later.
+double logp_broadcast_us(const LogGpParams& p);
+
+/// Time for one processor to issue k back-to-back small sends: o + (k-1)
+/// max(g, o) (the sender-side pipeline rate the Column pattern stresses).
+double logp_send_train_us(const LogGpParams& p, int k);
+
+/// Barrier estimate: gather to root + broadcast release, each an optimal
+/// tree: ~2x broadcast.
+double logp_barrier_us(const LogGpParams& p);
+
+}  // namespace now::models

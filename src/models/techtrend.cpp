@@ -1,0 +1,23 @@
+#include "models/techtrend.hpp"
+
+#include <cmath>
+
+namespace now::models {
+
+std::vector<MppLagRow> table1_rows() {
+  return {
+      {"T3D", "150-MHz Alpha", 1993.5, 1992.5},
+      {"Paragon", "50-MHz i860", 1992.5, 1991.0},
+      {"CM-5", "32-MHz SS-2", 1991.5, 1989.5},
+  };
+}
+
+double performance_lag_factor(double lag_years, double annual_improvement) {
+  return std::pow(1.0 + annual_improvement, lag_years);
+}
+
+double price_performance_divergence(double years, double fast, double slow) {
+  return std::pow((1.0 + fast) / (1.0 + slow), years);
+}
+
+}  // namespace now::models

@@ -1,0 +1,37 @@
+// Table 1 and the surrounding technology-trend arithmetic.
+//
+// MPPs ship one to two years after workstations built from the same
+// microprocessor; at 50 % performance improvement per year, a two-year lag
+// costs more than a factor of two in delivered performance.  The
+// price/performance slopes (80 %/yr for workstations vs 20-30 %/yr for
+// supercomputers) compound the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace now::models {
+
+struct MppLagRow {
+  std::string mpp;
+  std::string node_processor;
+  double mpp_ship_year;         // midpoint of the paper's range
+  double equivalent_ws_year;    // when workstations had the same CPU
+  double lag_years() const { return mpp_ship_year - equivalent_ws_year; }
+};
+
+/// Table 1's three rows (T3D, Paragon, CM-5).
+std::vector<MppLagRow> table1_rows();
+
+/// Performance forgone by shipping `lag_years` late at `annual_improvement`
+/// (0.5 = 50 %/yr): returns the factor (e.g. 2.25 for two years at 50 %).
+double performance_lag_factor(double lag_years,
+                              double annual_improvement = 0.5);
+
+/// Compounded price/performance advantage after `years` when one curve
+/// improves at `fast` per year and the other at `slow` (the workstation
+/// 80 %/yr vs supercomputer 20-30 %/yr argument).
+double price_performance_divergence(double years, double fast = 0.8,
+                                    double slow = 0.25);
+
+}  // namespace now::models

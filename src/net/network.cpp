@@ -1,0 +1,65 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace now::net {
+
+sim::Duration FabricParams::serialization(std::uint32_t bytes) const {
+  std::uint64_t wire_bytes = bytes + header_bytes;
+  if (cell_bytes > 0 && cell_payload_bytes > 0) {
+    const std::uint64_t cells =
+        (bytes + cell_payload_bytes - 1) / cell_payload_bytes;
+    wire_bytes = (cells == 0 ? 1 : cells) * cell_bytes;
+  }
+  const double seconds =
+      static_cast<double>(wire_bytes) * 8.0 / link_bandwidth_bps;
+  return sim::from_sec(seconds);
+}
+
+void Network::attach(NodeId node, DeliveryHandler handler,
+                     std::uint32_t rx_buffer_bytes) {
+  if (node >= ports_.size()) ports_.resize(node + 1);
+  Port& p = ports_[node];
+  assert(!p.in_use && "node attached twice");
+  p.handler = std::move(handler);
+  p.rx_capacity = rx_buffer_bytes;
+  p.rx_used = 0;
+  p.in_use = true;
+}
+
+bool Network::attached(NodeId node) const {
+  return node < ports_.size() && ports_[node].in_use;
+}
+
+Network::Port* Network::port(NodeId node) {
+  if (node >= ports_.size() || !ports_[node].in_use) return nullptr;
+  return &ports_[node];
+}
+
+const Network::Port* Network::port(NodeId node) const {
+  if (node >= ports_.size() || !ports_[node].in_use) return nullptr;
+  return &ports_[node];
+}
+
+void Network::release_rx(NodeId node, std::uint32_t bytes) {
+  Port* p = port(node);
+  if (p == nullptr || p->rx_capacity == 0) return;
+  assert(p->rx_used >= bytes);
+  p->rx_used -= bytes;
+}
+
+void Network::deliver_now(Packet&& pkt) {
+  Port* p = port(pkt.dst);
+  assert(p != nullptr && "send to unattached node");
+  if (p->rx_capacity != 0 &&
+      p->rx_used + pkt.size_bytes > p->rx_capacity) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  if (p->rx_capacity != 0) p->rx_used += pkt.size_bytes;
+  ++stats_.packets_delivered;
+  stats_.wire_time_us.add(sim::to_us(engine_.now() - pkt.sent_at));
+  p->handler(std::move(pkt));
+}
+
+}  // namespace now::net

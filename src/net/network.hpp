@@ -1,0 +1,84 @@
+// Abstract network: attach a delivery handler per node, send packets.
+//
+// Implementations model *where time goes on the wire* (serialization,
+// contention, switch latency) and where packets are dropped (receive-buffer
+// overflow).  CPU costs live in now::proto.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace now::net {
+
+/// Invoked at the simulated instant the last byte of a packet reaches the
+/// destination NIC buffer.
+using DeliveryHandler = std::function<void(Packet&&)>;
+
+/// Aggregate wire statistics.
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Wire time (send call to delivery) in microseconds.
+  sim::Summary wire_time_us;
+};
+
+/// Base class for all fabric models.
+class Network {
+ public:
+  explicit Network(sim::Engine& engine) : engine_(engine) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers `node`'s NIC.  `rx_buffer_bytes` bounds how much undelivered
+  /// data the NIC will hold; packets arriving into a full buffer are dropped
+  /// (upper layers provide timeout/retry or credit flow control).
+  /// 0 means unbounded.
+  void attach(NodeId node, DeliveryHandler handler,
+              std::uint32_t rx_buffer_bytes = 0);
+
+  /// True if `node` has been attached.
+  bool attached(NodeId node) const;
+
+  /// Injects a packet.  The caller is responsible for having charged any
+  /// sender CPU overhead first.  Delivery (or drop) happens asynchronously.
+  virtual void send(Packet pkt) = 0;
+
+  /// Upper layers call this when they have consumed a delivered packet's
+  /// buffer space (AM handlers free it immediately; the TCP model frees it
+  /// when the application reads).
+  void release_rx(NodeId node, std::uint32_t bytes);
+
+  const NetworkStats& stats() const { return stats_; }
+  sim::Engine& engine() { return engine_; }
+
+ protected:
+  struct Port {
+    DeliveryHandler handler;
+    std::uint32_t rx_capacity = 0;  // 0 = unbounded
+    std::uint32_t rx_used = 0;
+    bool in_use = false;
+  };
+
+  /// Delivers (or drops, if the RX buffer is full) at the current simulated
+  /// time.  Subclasses call this from their scheduled completion events.
+  void deliver_now(Packet&& pkt);
+
+  Port* port(NodeId node);
+  const Port* port(NodeId node) const;
+
+  sim::Engine& engine_;
+  NetworkStats stats_;
+
+ private:
+  std::vector<Port> ports_;
+};
+
+}  // namespace now::net

@@ -1,0 +1,52 @@
+#include "net/presets.hpp"
+
+namespace now::net {
+
+FabricParams ethernet_10mbps() {
+  FabricParams p;
+  p.link_bandwidth_bps = 10e6;
+  p.latency = 5 * sim::kMicrosecond;  // propagation + repeaters
+  p.header_bytes = 18;                // Ethernet framing
+  return p;
+}
+
+FabricParams atm_155mbps() {
+  FabricParams p;
+  p.link_bandwidth_bps = 155e6;
+  // Switch latency 10-100 us depending on configuration, plus adapter
+  // latency up to 100 us; we take a mid-range switch + adapter.
+  p.latency = 50 * sim::kMicrosecond;
+  p.cell_bytes = 53;
+  p.cell_payload_bytes = 48;
+  p.cut_through = true;  // cells pipeline through the switch
+  return p;
+}
+
+FabricParams fddi_medusa() {
+  FabricParams p;
+  p.link_bandwidth_bps = 100e6;
+  p.latency = 8 * sim::kMicrosecond;  // network + adapter (Martin, HPAM)
+  p.header_bytes = 28;                // FDDI framing
+  p.cut_through = true;
+  return p;
+}
+
+FabricParams myrinet() {
+  FabricParams p;
+  p.link_bandwidth_bps = 640e6;
+  p.latency = 1 * sim::kMicrosecond;  // short wires
+  p.header_bytes = 8;
+  p.cut_through = true;               // wormhole routing
+  return p;
+}
+
+FabricParams cm5_fabric() {
+  FabricParams p;
+  p.link_bandwidth_bps = 160e6;       // ~20 MB/s per link
+  p.latency = 4 * sim::kMicrosecond;  // across 1,024 processors
+  p.header_bytes = 4;
+  p.cut_through = true;
+  return p;
+}
+
+}  // namespace now::net

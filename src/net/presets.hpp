@@ -1,0 +1,28 @@
+// Fabric parameter presets for the networks the paper measures or cites.
+//
+// Latency numbers follow the text: ATM switch latency 10-100 us depending on
+// configuration plus up to 100 us of adapter latency; Medusa FDDI adds 8 us
+// of network+adapter latency; the CM-5 data network crosses 1,024 nodes in
+// under 4 us.
+#pragma once
+
+#include "net/types.hpp"
+
+namespace now::net {
+
+/// 10 Mb/s shared Ethernet, the departmental LAN of 1994.
+FabricParams ethernet_10mbps();
+
+/// 155 Mb/s switched ATM (OC-3) with 53-byte cells, mid-range switch.
+FabricParams atm_155mbps();
+
+/// Medusa FDDI: 100 Mb/s, network + adapter latency ~8 us (Martin, HPAM).
+FabricParams fddi_medusa();
+
+/// Myrinet-class retargeted MPP network: 640 Mb/s links, ~1 us fabric.
+FabricParams myrinet();
+
+/// CM-5 data network: 4 us across the machine, ~20 MB/s per link.
+FabricParams cm5_fabric();
+
+}  // namespace now::net

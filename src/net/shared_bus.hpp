@@ -1,0 +1,42 @@
+// Shared-medium LAN: 10 Mb/s Ethernet as the paper's baseline network.
+//
+// All nodes contend for one medium.  Bandwidth does NOT scale with the
+// number of nodes — the property that makes the RS-6000+Ethernet row of
+// Table 4 three orders of magnitude slower than the MPPs, and that made
+// network RAM impractical before switched LANs (Table 2 discussion).
+//
+// Arbitration is FIFO over the single medium with a small randomized access
+// delay standing in for CSMA/CD backoff under load.
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+
+namespace now::net {
+
+class SharedBusNetwork final : public Network {
+ public:
+  SharedBusNetwork(sim::Engine& engine, FabricParams params,
+                   std::uint64_t seed = 1)
+      : Network(engine), params_(params), rng_(seed, /*stream=*/0x6e657462) {}
+
+  void send(Packet pkt) override;
+
+  const FabricParams& params() const { return params_; }
+
+  /// Unloaded wire-to-wire time: one serialization plus propagation.
+  sim::Duration unloaded_transit(std::uint32_t bytes) const {
+    return params_.serialization(bytes) + params_.latency;
+  }
+
+  /// Fraction of elapsed time the medium has been busy so far.
+  double utilization() const;
+
+ private:
+  FabricParams params_;
+  sim::Pcg32 rng_;
+  sim::SimTime medium_busy_until_ = 0;
+  sim::Duration medium_busy_total_ = 0;
+};
+
+}  // namespace now::net

@@ -1,0 +1,60 @@
+#include "net/switched.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now::net {
+
+SwitchedNetwork::LinkState& SwitchedNetwork::uplink(NodeId n) {
+  if (n >= uplinks_.size()) uplinks_.resize(n + 1);
+  return uplinks_[n];
+}
+
+SwitchedNetwork::LinkState& SwitchedNetwork::downlink(NodeId n) {
+  if (n >= downlinks_.size()) downlinks_.resize(n + 1);
+  return downlinks_[n];
+}
+
+sim::Duration SwitchedNetwork::unloaded_transit(std::uint32_t bytes) const {
+  const sim::Duration ser = params_.serialization(bytes);
+  return (params_.cut_through ? ser : 2 * ser) + params_.latency;
+}
+
+void SwitchedNetwork::send(Packet pkt) {
+  assert(attached(pkt.src) && attached(pkt.dst));
+  ++stats_.packets_sent;
+  stats_.bytes_sent += pkt.size_bytes;
+  pkt.sent_at = engine_.now();
+
+  const sim::Duration ser = params_.serialization(pkt.size_bytes);
+
+  // Serialize onto the source uplink (FIFO behind earlier packets).
+  LinkState& up = uplink(pkt.src);
+  const sim::SimTime up_start = std::max(engine_.now(), up.busy_until);
+  const sim::SimTime up_done = up_start + ser;
+  up.busy_until = up_done;
+
+  LinkState& down = downlink(pkt.dst);
+  sim::SimTime down_done;
+  if (params_.cut_through) {
+    // The head crosses the fabric while the tail is still serializing, so
+    // an uncontended transfer finishes one serialization after it starts;
+    // a busy downlink still queues the whole packet.
+    const sim::SimTime head_at_dst = up_start + params_.latency;
+    const sim::SimTime down_start = std::max(head_at_dst, down.busy_until);
+    down_done = std::max(down_start + ser, up_done + params_.latency);
+  } else {
+    // Store-and-forward: the switch holds the packet until it is complete.
+    const sim::SimTime at_switch = up_done + params_.latency;
+    const sim::SimTime down_start = std::max(at_switch, down.busy_until);
+    down_done = down_start + ser;
+  }
+  down.busy_until = down_done;
+
+  engine_.schedule_at(down_done,
+                      [this, p = std::move(pkt)]() mutable {
+                        deliver_now(std::move(p));
+                      });
+}
+
+}  // namespace now::net

@@ -1,0 +1,42 @@
+// Switched fabric: the "killer network" of the paper (ATM, Myrinet, FDDI
+// with a switch, or an MPP interconnect).
+//
+// Each node has a dedicated full-duplex link to the switch, so aggregate
+// bandwidth scales with the number of nodes.  A packet serializes once onto
+// the source link, crosses the fabric after `latency`, then occupies the
+// destination link for its serialization time (modelling receive-side
+// contention: many senders targeting one node queue on its downlink — the
+// mechanism behind the Column benchmark's trouble in Figure 4).
+#pragma once
+
+#include "net/network.hpp"
+
+namespace now::net {
+
+class SwitchedNetwork final : public Network {
+ public:
+  SwitchedNetwork(sim::Engine& engine, FabricParams params)
+      : Network(engine), params_(params) {}
+
+  void send(Packet pkt) override;
+
+  const FabricParams& params() const { return params_; }
+
+  /// Time a minimal `bytes`-byte packet takes wire-to-wire with no
+  /// contention: serialization (twice: uplink + downlink) + fabric latency.
+  sim::Duration unloaded_transit(std::uint32_t bytes) const;
+
+ private:
+  struct LinkState {
+    sim::SimTime busy_until = 0;
+  };
+
+  LinkState& uplink(NodeId n);
+  LinkState& downlink(NodeId n);
+
+  FabricParams params_;
+  std::vector<LinkState> uplinks_;
+  std::vector<LinkState> downlinks_;
+};
+
+}  // namespace now::net

@@ -1,0 +1,57 @@
+// Common network-layer types.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace now::net {
+
+/// Identifies a workstation (or MPP node) attached to the network.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// One message travelling through the network.  The payload is opaque to the
+/// wire: the simulator carries metadata, not real bytes, and upper layers
+/// (Active Messages, the TCP model, xFS RPCs) define its meaning.
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t size_bytes = 0;
+  /// Protocol-level multiplexing tag (e.g. AM endpoint, TCP port).
+  std::uint32_t tag = 0;
+  /// Time the sender handed the packet to the wire (set by the network).
+  sim::SimTime sent_at = 0;
+  std::any payload;
+};
+
+/// Physical parameters of one fabric, in the paper's own vocabulary:
+/// wire/switch *latency* (time in the network, overlappable with compute)
+/// and link *bandwidth* (serialization).  CPU *overhead* is charged by the
+/// protocol layers, not here — keeping the paper's overhead-vs-latency
+/// distinction explicit in the code structure.
+struct FabricParams {
+  /// Bits per second on each link (shared-medium fabrics: on the medium).
+  double link_bandwidth_bps = 10e6;
+  /// One-way latency through wire + switch fabric, excluding serialization.
+  sim::Duration latency = 50 * sim::kMicrosecond;
+  /// Fixed per-packet framing bytes added on the wire (headers, ATM cell
+  /// padding is modelled separately by cell_bytes below).
+  std::uint32_t header_bytes = 0;
+  /// If nonzero, payloads are carried in fixed-size cells (ATM: 53-byte
+  /// cells with a 48-byte payload) and serialization rounds up accordingly.
+  std::uint32_t cell_bytes = 0;
+  std::uint32_t cell_payload_bytes = 0;
+  /// Cut-through / wormhole switching: a packet's head exits the switch
+  /// while its tail is still entering, so an uncontended transfer pays one
+  /// serialization, not two.  True for ATM (cell pipelining), Myrinet and
+  /// MPP fabrics; false models store-and-forward.
+  bool cut_through = false;
+
+  /// Serialization time for `bytes` of payload on one link.
+  sim::Duration serialization(std::uint32_t bytes) const;
+};
+
+}  // namespace now::net

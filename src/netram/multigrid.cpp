@@ -1,0 +1,44 @@
+#include "netram/multigrid.hpp"
+
+#include <cassert>
+
+namespace now::netram {
+
+MultigridRun::MultigridRun(os::Node& node, os::AddressSpace& space,
+                           MultigridParams params, DoneFn done)
+    : node_(node), space_(space), params_(params), done_(std::move(done)),
+      pages_((params.problem_bytes + params.page_bytes - 1) /
+             params.page_bytes) {
+  assert(pages_ > 0);
+}
+
+void MultigridRun::start() {
+  assert(pid_ == os::kNoProcess && "start() is one-shot");
+  pid_ = node_.cpu().spawn("multigrid", os::SchedClass::kBatch, [this] {
+    started_at_ = node_.engine().now();
+    step();
+  });
+}
+
+void MultigridRun::step() {
+  if (sweep_ == params_.sweeps) {
+    const sim::Duration elapsed = node_.engine().now() - started_at_;
+    os::ProcessId pid = pid_;
+    DoneFn done = std::move(done_);
+    node_.cpu().exit(pid);
+    if (done) done(elapsed);
+    return;
+  }
+  node_.cpu().compute(pid_, params_.compute_per_page, [this] {
+    space_.access_from_process(node_.cpu(), pid_, page_, /*write=*/true,
+                               [this] {
+                                 if (++page_ == pages_) {
+                                   page_ = 0;
+                                   ++sweep_;
+                                 }
+                                 step();
+                               });
+  });
+}
+
+}  // namespace now::netram

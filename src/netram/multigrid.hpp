@@ -1,0 +1,62 @@
+// The multigrid workload behind Figure 2.
+//
+// A multigrid solver sweeps its grid hierarchy repeatedly: each sweep walks
+// the problem's pages in order, doing a fixed amount of floating-point work
+// per page and then touching the page (read-modify-write).  Sequential
+// sweeps over a working set larger than physical memory are LRU's worst
+// case — every page faults on every sweep — which is precisely why
+// classical virtual memory "broke down" and why the paper proposes paging
+// to remote DRAM instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "os/node.hpp"
+#include "os/vm.hpp"
+#include "sim/time.hpp"
+
+namespace now::netram {
+
+struct MultigridParams {
+  /// Total problem size in bytes (Figure 2's x-axis).
+  std::uint64_t problem_bytes = 64ull << 20;
+  std::uint32_t page_bytes = 8192;
+  /// Smoothing sweeps over the data.
+  int sweeps = 5;
+  /// CPU time per page per sweep.  Calibrated so a 1994 workstation doing
+  /// relaxation + residual work on 1 K doubles spends ~4 ms — which puts
+  /// network-RAM slowdown in the paper's 10-30 % band and disk thrashing
+  /// in its 5-10x band.
+  sim::Duration compute_per_page = 4 * sim::kMillisecond;
+};
+
+/// Runs the sweep workload as a process on `node`, paging through `space`.
+/// `done(elapsed)` fires with the wall-clock runtime.
+class MultigridRun {
+ public:
+  using DoneFn = std::function<void(sim::Duration)>;
+
+  MultigridRun(os::Node& node, os::AddressSpace& space,
+               MultigridParams params, DoneFn done);
+
+  /// Spawns the solver process.  One-shot.
+  void start();
+
+  std::uint64_t pages() const { return pages_; }
+
+ private:
+  void step();
+
+  os::Node& node_;
+  os::AddressSpace& space_;
+  MultigridParams params_;
+  DoneFn done_;
+  std::uint64_t pages_;
+  os::ProcessId pid_ = os::kNoProcess;
+  int sweep_ = 0;
+  std::uint64_t page_ = 0;
+  sim::SimTime started_at_ = 0;
+};
+
+}  // namespace now::netram

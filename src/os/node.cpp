@@ -1,0 +1,26 @@
+#include "os/node.hpp"
+
+namespace now::os {
+
+bool Node::reserve_dram(std::uint64_t bytes) {
+  if (dram_in_use_ + bytes > params_.dram_bytes) return false;
+  dram_in_use_ += bytes;
+  return true;
+}
+
+void Node::release_dram(std::uint64_t bytes) {
+  dram_in_use_ = bytes > dram_in_use_ ? 0 : dram_in_use_ - bytes;
+}
+
+void Node::crash() {
+  alive_ = false;
+  cpu_.reset();
+  dram_in_use_ = 0;
+}
+
+void Node::reboot() {
+  alive_ = true;
+  last_activity_ = engine_.now();
+}
+
+}  // namespace now::os

@@ -1,0 +1,71 @@
+#include "proto/costs.hpp"
+
+namespace now::proto {
+
+ProtocolCosts am_cm5() {
+  ProtocolCosts c;
+  c.send_fixed = sim::from_us(1.7);
+  c.recv_fixed = sim::from_us(1.7);
+  // Small messages only on the CM-5 data network; bulk moves use the same
+  // single-copy path.
+  c.send_per_byte_ns = kCopyNsPerByte;
+  c.recv_per_byte_ns = kCopyNsPerByte;
+  return c;
+}
+
+ProtocolCosts am_medusa() {
+  ProtocolCosts c;
+  c.send_fixed = sim::from_us(8);  // includes timeout/retry bookkeeping
+  c.recv_fixed = sim::from_us(8);
+  c.send_per_byte_ns = kCopyNsPerByte;  // single copy into the interface
+  c.recv_per_byte_ns = kCopyNsPerByte;
+  return c;
+}
+
+ProtocolCosts tcp_kernel() {
+  ProtocolCosts c;
+  // Calibrated so one small message one-way through the Ethernet driver
+  // path costs ~456 us of overhead + unloaded latency (the paper's
+  // SparcStation-10 measurement).
+  c.send_fixed = sim::from_us(160);
+  c.recv_fixed = sim::from_us(160);
+  c.send_per_byte_ns = 2.0 * kCopyNsPerByte;
+  c.recv_per_byte_ns = 2.0 * kCopyNsPerByte;
+  return c;
+}
+
+ProtocolCosts tcp_kernel_atm() {
+  ProtocolCosts c;
+  // The Synoptics ATM driver path was *slower* per message than Ethernet
+  // (626 us vs 456 us) despite eight times the bandwidth — the paper's
+  // point that bandwidth upgrades alone don't fix overhead.
+  c.send_fixed = sim::from_us(278);
+  c.recv_fixed = sim::from_us(278);
+  c.send_per_byte_ns = 2.0 * kCopyNsPerByte;
+  c.recv_per_byte_ns = 2.0 * kCopyNsPerByte;
+  return c;
+}
+
+ProtocolCosts tcp_single_copy() {
+  ProtocolCosts c;
+  // Research single-copy TCP paths cut fixed per-packet work hard as well
+  // as eliminating a copy; calibrated to the paper's 760-byte half-power
+  // point on the Medusa hardware.
+  c.send_fixed = sim::from_us(50);
+  c.recv_fixed = sim::from_us(50);
+  c.send_per_byte_ns = kCopyNsPerByte;
+  c.recv_per_byte_ns = kCopyNsPerByte;
+  return c;
+}
+
+ProtocolCosts pvm() {
+  ProtocolCosts c;
+  // TCP plus PVM's user-level daemon hop and packing/unpacking.
+  c.send_fixed = sim::from_us(350);
+  c.recv_fixed = sim::from_us(350);
+  c.send_per_byte_ns = 3.0 * kCopyNsPerByte;
+  c.recv_per_byte_ns = 3.0 * kCopyNsPerByte;
+  return c;
+}
+
+}  // namespace now::proto

@@ -1,0 +1,113 @@
+#include "proto/pvm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace now::proto {
+
+PvmLayer::PvmLayer(NicMux& mux, TcpLayer& tcp, std::uint16_t daemon_port)
+    : mux_(mux), tcp_(tcp), port_(daemon_port) {}
+
+PvmTaskId PvmLayer::enroll(os::Node& node, os::ProcessId pid) {
+  const auto id = static_cast<PvmTaskId>(tasks_.size());
+  Task t;
+  t.node = &node;
+  t.pid = pid;
+  tasks_.push_back(std::move(t));
+  if (!daemon_installed_[node.id()]) {
+    daemon_installed_[node.id()] = true;
+    tcp_.listen(node.id(), port_, [this](TcpMessage&& m) {
+      auto w = std::any_cast<Wire>(std::move(m.payload));
+      daemon_deliver(std::move(w));
+    });
+  }
+  return id;
+}
+
+void PvmLayer::send(PvmTaskId from, PvmTaskId to, int tag,
+                    std::uint32_t bytes, std::any payload,
+                    std::function<void()> then) {
+  assert(from < tasks_.size() && to < tasks_.size());
+  ++stats_.sends;
+  Task& src = tasks_[from];
+  // Task -> daemon hop: pvm_pkint-style packing, one copy of the data.
+  const sim::Duration pack = src.node->copy_cost(bytes);
+  src.node->cpu().compute(src.pid, std::max<sim::Duration>(pack, 1),
+                          [this, from, to, tag, bytes,
+                           payload = std::move(payload),
+                           then = std::move(then)]() mutable {
+                            Task& s = tasks_[from];
+                            Task& d = tasks_[to];
+                            tcp_.send(s.node->id(), port_, d.node->id(),
+                                      port_, bytes + 64,
+                                      Wire{from, to, tag, bytes,
+                                           std::move(payload)});
+                            then();
+                          });
+}
+
+void PvmLayer::daemon_deliver(Wire&& w) {
+  Task& task = tasks_[w.to];
+  // Daemon -> task unpacking copy, charged as system time on the node.
+  task.node->cpu().steal(task.node->copy_cost(w.bytes));
+  PvmMessage msg;
+  msg.source = w.from;
+  msg.tag = w.tag;
+  msg.bytes = w.bytes;
+  msg.payload = std::move(w.payload);
+  task.mailbox.push_back(std::move(msg));
+  stats_.buffered_peak =
+      std::max<std::uint64_t>(stats_.buffered_peak, task.mailbox.size());
+  if (try_match(task)) {
+    // A sleeping receiver was satisfied: make it runnable.
+    task.node->cpu().wake(task.pid);
+  }
+}
+
+bool PvmLayer::try_match(Task& task) {
+  // Pair the oldest waiting recv with the oldest matching message.
+  for (auto wit = task.waiting.begin(); wit != task.waiting.end(); ++wit) {
+    for (auto mit = task.mailbox.begin(); mit != task.mailbox.end();
+         ++mit) {
+      if (!tag_matches(wit->tag, mit->tag)) continue;
+      PvmMessage msg = std::move(*mit);
+      RecvFn fn = std::move(wit->fn);
+      task.mailbox.erase(mit);
+      task.waiting.erase(wit);
+      ++stats_.delivered;
+      fn(std::move(msg));
+      return true;
+    }
+  }
+  return false;
+}
+
+void PvmLayer::recv(PvmTaskId me, int tag, RecvFn fn) {
+  assert(me < tasks_.size());
+  Task& task = tasks_[me];
+  const auto mit = std::find_if(task.mailbox.begin(), task.mailbox.end(),
+                                [tag](const PvmMessage& m) {
+                                  return tag_matches(tag, m.tag);
+                                });
+  if (mit != task.mailbox.end()) {
+    PvmMessage msg = std::move(*mit);
+    task.mailbox.erase(mit);
+    ++stats_.delivered;
+    fn(std::move(msg));
+    return;
+  }
+  // Sleep until the daemon buffers a match.  The continuation runs when
+  // the process is next dispatched after the wake — PVM's semantics: the
+  // daemon can buffer while the task is descheduled, but the task only
+  // *reacts* once scheduled.
+  task.waiting.push_back(PendingRecv{tag, nullptr});
+  PendingRecv& slot = task.waiting.back();
+  auto delivered = std::make_shared<PvmMessage>();
+  slot.fn = [delivered](PvmMessage&& m) { *delivered = std::move(m); };
+  task.node->cpu().block(task.pid,
+                         [fn = std::move(fn), delivered]() mutable {
+                           fn(std::move(*delivered));
+                         });
+}
+
+}  // namespace now::proto

@@ -1,0 +1,105 @@
+// PVM-class message passing: the paper's baseline programming system.
+//
+// PVM routes every message through per-node daemons: task -> local pvmd ->
+// remote pvmd -> task, with packing/unpacking copies at each hop.  Two
+// properties matter for the paper's arguments:
+//
+//  * cost: the daemon path is why "replacing PVM with a low-overhead,
+//    low-latency communication system further reduces the execution time
+//    by an order of magnitude" (Table 4's last row);
+//  * semantics: the daemon buffers in kernel/daemon space, so a message
+//    can be *received* while the destination task is descheduled — the
+//    task still cannot *react* until scheduled, which is the local-
+//    scheduling behaviour Figure 4's discussion attributes to "parallel
+//    environments such as PVM".
+//
+// Messages are matched by (source-agnostic) tag, as in pvm_recv(-1, tag).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/tcp.hpp"
+
+namespace now::proto {
+
+using PvmTaskId = std::uint32_t;
+inline constexpr PvmTaskId kInvalidTask = 0xffffffffu;
+
+struct PvmMessage {
+  PvmTaskId source = kInvalidTask;
+  int tag = 0;
+  std::uint32_t bytes = 0;
+  std::any payload;
+};
+
+struct PvmStats {
+  std::uint64_t sends = 0;
+  std::uint64_t delivered = 0;   // handed to a task's recv
+  std::uint64_t buffered_peak = 0;
+};
+
+/// The parallel virtual machine: daemons over the kernel-TCP model.
+class PvmLayer {
+ public:
+  using RecvFn = std::function<void(PvmMessage&&)>;
+
+  /// Daemons talk TCP on `daemon_port`.
+  PvmLayer(NicMux& mux, TcpLayer& tcp, std::uint16_t daemon_port = 3049);
+  PvmLayer(const PvmLayer&) = delete;
+  PvmLayer& operator=(const PvmLayer&) = delete;
+
+  /// Enrolls a task (a process on `node`) into the virtual machine.
+  PvmTaskId enroll(os::Node& node, os::ProcessId pid);
+
+  /// Sends from a task's process context: pays the task->daemon packing
+  /// copy, then the TCP path.  `then` resumes the sender once the local
+  /// daemon has taken the data (PVM's asynchronous send).
+  void send(PvmTaskId from, PvmTaskId to, int tag, std::uint32_t bytes,
+            std::any payload, std::function<void()> then);
+
+  /// Blocking receive from a task's process context: the first buffered
+  /// message with `tag` is delivered; otherwise the process sleeps until
+  /// one arrives.  (tag = -1 matches anything.)
+  void recv(PvmTaskId me, int tag, RecvFn fn);
+
+  const PvmStats& stats() const { return stats_; }
+  os::Node& node_of(PvmTaskId t) { return *tasks_.at(t).node; }
+
+ private:
+  struct Wire {
+    PvmTaskId from;
+    PvmTaskId to;
+    int tag;
+    std::uint32_t bytes;
+    std::any payload;
+  };
+  struct PendingRecv {
+    int tag;
+    RecvFn fn;
+  };
+  struct Task {
+    os::Node* node = nullptr;
+    os::ProcessId pid = os::kNoProcess;
+    std::deque<PvmMessage> mailbox;
+    std::deque<PendingRecv> waiting;
+  };
+
+  void daemon_deliver(Wire&& w);
+  bool try_match(Task& task);
+  static bool tag_matches(int want, int got) {
+    return want == -1 || want == got;
+  }
+
+  NicMux& mux_;
+  TcpLayer& tcp_;
+  std::uint16_t port_;
+  std::vector<Task> tasks_;
+  std::unordered_map<net::NodeId, bool> daemon_installed_;
+  PvmStats stats_;
+};
+
+}  // namespace now::proto

@@ -1,0 +1,79 @@
+#include "proto/rpc.hpp"
+
+#include <cassert>
+
+namespace now::proto {
+
+void RpcLayer::bind(os::Node& node) {
+  const net::NodeId id = node.id();
+  assert(!endpoints_.contains(id) && "node bound twice");
+  const EndpointId ep = am_.create_endpoint(node, AmLayer::Mode::kInterrupt);
+  endpoints_[id] = ep;
+  am_.register_handler(ep, kRequestHandler,
+                       [this, id](const AmMessage& m) { on_request(id, m); });
+  am_.register_handler(ep, kResponseHandler,
+                       [this](const AmMessage& m) { on_response(m); });
+}
+
+void RpcLayer::register_method(net::NodeId node, MethodId method, Method fn) {
+  assert(endpoints_.contains(node) && "register_method before bind");
+  methods_[node][method] = std::move(fn);
+}
+
+void RpcLayer::call(net::NodeId from, net::NodeId to, MethodId method,
+                    std::uint32_t req_bytes, std::any req,
+                    ResponseFn on_reply, sim::Duration timeout,
+                    TimeoutFn on_timeout) {
+  assert(endpoints_.contains(from) && endpoints_.contains(to));
+  const std::uint64_t id = next_call_id_++;
+  ++calls_sent_;
+
+  Outstanding out;
+  out.on_reply = std::move(on_reply);
+  if (timeout > 0) {
+    out.timer = am_.engine().schedule_in(
+        timeout, [this, id, cb = std::move(on_timeout)] {
+          const auto it = outstanding_.find(id);
+          if (it == outstanding_.end()) return;
+          outstanding_.erase(it);
+          ++timeouts_;
+          if (cb) cb();
+        });
+  }
+  outstanding_.emplace(id, std::move(out));
+
+  am_.send(endpoints_[from], endpoints_[to], kRequestHandler, req_bytes,
+           Request{id, from, method, std::move(req)});
+}
+
+void RpcLayer::on_request(net::NodeId self, const AmMessage& m) {
+  const auto* req = std::any_cast<Request>(&m.payload);
+  assert(req != nullptr);
+  const auto nit = methods_.find(self);
+  assert(nit != methods_.end());
+  const auto mit = nit->second.find(req->method);
+  assert(mit != nit->second.end() && "RPC method not registered");
+
+  const std::uint64_t call_id = req->call_id;
+  const net::NodeId caller = req->caller;
+  ReplyFn reply = [this, self, caller, call_id](std::uint32_t resp_bytes,
+                                                std::any resp) {
+    am_.send(endpoints_[self], endpoints_[caller], kResponseHandler,
+             resp_bytes, Response{call_id, std::move(resp)});
+  };
+  mit->second(caller, req->payload, std::move(reply));
+}
+
+void RpcLayer::on_response(const AmMessage& m) {
+  const auto* resp = std::any_cast<Response>(&m.payload);
+  assert(resp != nullptr);
+  const auto it = outstanding_.find(resp->call_id);
+  if (it == outstanding_.end()) return;  // reply after timeout: dropped
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  ++replies_;
+  if (out.timer != 0) am_.engine().cancel(out.timer);
+  if (out.on_reply) out.on_reply(resp->payload);
+}
+
+}  // namespace now::proto

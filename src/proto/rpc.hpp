@@ -1,0 +1,89 @@
+// Request/response RPC built on interrupt-mode Active Messages.
+//
+// GLUnix daemons, the network-RAM pager, and xFS managers all speak RPC.
+// Calls carry simulated sizes (bytes on the wire) and opaque payloads; a
+// reply closure lets the service answer asynchronously (e.g. after a disk
+// access).  An optional timeout lets callers survive crashed servers — the
+// path GLUnix and xFS recovery tests exercise.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/am.hpp"
+
+namespace now::proto {
+
+using MethodId = std::uint16_t;
+
+class RpcLayer {
+ public:
+  /// Sends the response: (resp_bytes, resp_payload).
+  using ReplyFn = std::function<void(std::uint32_t, std::any)>;
+  /// Service implementation: (caller node, request payload, reply closure).
+  using Method =
+      std::function<void(net::NodeId, std::any, ReplyFn)>;
+  using ResponseFn = std::function<void(std::any)>;
+  using TimeoutFn = std::function<void()>;
+
+  explicit RpcLayer(AmLayer& am) : am_(am) {}
+  RpcLayer(const RpcLayer&) = delete;
+  RpcLayer& operator=(const RpcLayer&) = delete;
+
+  /// Creates this node's RPC endpoint.  Call once per participating node.
+  void bind(os::Node& node);
+
+  /// Registers `method` on `node` (which must be bound).
+  void register_method(net::NodeId node, MethodId method, Method fn);
+
+  /// Calls `method` on `to`, sending `req_bytes`.  `on_reply` runs on the
+  /// caller when the response arrives.  If `timeout` > 0 and no response
+  /// arrives in time, `on_timeout` runs instead (a late response is then
+  /// dropped).
+  void call(net::NodeId from, net::NodeId to, MethodId method,
+            std::uint32_t req_bytes, std::any req, ResponseFn on_reply,
+            sim::Duration timeout = 0, TimeoutFn on_timeout = nullptr);
+
+  sim::Engine& engine() { return am_.engine(); }
+
+  std::uint64_t calls_sent() const { return calls_sent_; }
+  std::uint64_t replies_received() const { return replies_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct Request {
+    std::uint64_t call_id;
+    net::NodeId caller;
+    MethodId method;
+    std::any payload;
+  };
+  struct Response {
+    std::uint64_t call_id;
+    std::any payload;
+  };
+  struct Outstanding {
+    ResponseFn on_reply;
+    sim::EventId timer = 0;
+  };
+
+  void on_request(net::NodeId self, const AmMessage& m);
+  void on_response(const AmMessage& m);
+
+  AmLayer& am_;
+  std::unordered_map<net::NodeId, EndpointId> endpoints_;
+  std::unordered_map<net::NodeId,
+                     std::unordered_map<MethodId, Method>>
+      methods_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::uint64_t next_call_id_ = 1;
+  std::uint64_t calls_sent_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  static constexpr HandlerId kRequestHandler = 1;
+  static constexpr HandlerId kResponseHandler = 2;
+};
+
+}  // namespace now::proto

@@ -1,0 +1,117 @@
+#include "raid/stripe_groups.hpp"
+
+#include <cassert>
+
+namespace now::raid {
+
+StripeGroupArray::StripeGroupArray(proto::RpcLayer& rpc,
+                                   std::vector<os::Node*> members,
+                                   RaidParams params, std::size_t group_size,
+                                   std::uint64_t band_bytes)
+    : band_bytes_(band_bytes) {
+  assert(group_size >= 2 && band_bytes > 0);
+  for (std::size_t start = 0; start + group_size <= members.size();
+       start += group_size) {
+    std::vector<os::Node*> g(members.begin() + static_cast<long>(start),
+                             members.begin() +
+                                 static_cast<long>(start + group_size));
+    group_members_.push_back(g);
+    groups_.push_back(std::make_unique<SoftwareRaid>(rpc, std::move(g),
+                                                     params));
+  }
+  assert(!groups_.empty() && "fewer members than one stripe group");
+}
+
+StripeGroupArray::Placement StripeGroupArray::place(
+    std::uint64_t offset) const {
+  const std::uint64_t band = offset / band_bytes_;
+  const std::uint64_t in_band = offset % band_bytes_;
+  const std::size_t group =
+      static_cast<std::size_t>(band % groups_.size());
+  // Bands owned by a group pack densely in its private address space.
+  const std::uint64_t local_band = band / groups_.size();
+  return Placement{group, local_band * band_bytes_ + in_band};
+}
+
+template <typename Op>
+void StripeGroupArray::split(net::NodeId client, std::uint64_t offset,
+                             std::uint32_t bytes, Done done, Op op) {
+  // Chop the range at band boundaries; each piece lives in one group.
+  struct Piece {
+    std::size_t group;
+    std::uint64_t offset;
+    std::uint32_t bytes;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + bytes;
+  while (pos < end) {
+    const std::uint64_t band_end =
+        (pos / band_bytes_ + 1) * band_bytes_;
+    const auto take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(band_end, end) - pos);
+    const Placement p = place(pos);
+    pieces.push_back(Piece{p.group, p.offset, take});
+    pos += take;
+  }
+  auto remaining = std::make_shared<std::size_t>(pieces.size());
+  auto join = [remaining, done = std::move(done)]() mutable {
+    if (--*remaining == 0 && done) done();
+  };
+  for (const Piece& p : pieces) {
+    op(*groups_[p.group], client, p.offset, p.bytes, join);
+  }
+}
+
+void StripeGroupArray::read(net::NodeId client, std::uint64_t offset,
+                            std::uint32_t bytes, Done done) {
+  split(client, offset, bytes, std::move(done),
+        [](SoftwareRaid& g, net::NodeId c, std::uint64_t off,
+           std::uint32_t n, std::function<void()> join) {
+          g.read(c, off, n, std::move(join));
+        });
+}
+
+void StripeGroupArray::write(net::NodeId client, std::uint64_t offset,
+                             std::uint32_t bytes, Done done) {
+  split(client, offset, bytes, std::move(done),
+        [](SoftwareRaid& g, net::NodeId c, std::uint64_t off,
+           std::uint32_t n, std::function<void()> join) {
+          g.write(c, off, n, std::move(join));
+        });
+}
+
+void StripeGroupArray::member_failed(net::NodeId id) {
+  for (std::size_t g = 0; g < group_members_.size(); ++g) {
+    for (const os::Node* n : group_members_[g]) {
+      if (n->id() == id) {
+        groups_[g]->member_failed(id);
+        return;
+      }
+    }
+  }
+}
+
+bool StripeGroupArray::degraded() const {
+  for (const auto& g : groups_) {
+    if (g->degraded()) return true;
+  }
+  return false;
+}
+
+RaidStats StripeGroupArray::stats() const {
+  RaidStats total;
+  for (const auto& g : groups_) {
+    const RaidStats& s = g->stats();
+    total.reads += s.reads;
+    total.writes += s.writes;
+    total.bytes_read += s.bytes_read;
+    total.bytes_written += s.bytes_written;
+    total.degraded_reads += s.degraded_reads;
+    total.parity_updates += s.parity_updates;
+    total.full_stripe_writes += s.full_stripe_writes;
+  }
+  return total;
+}
+
+}  // namespace now::raid

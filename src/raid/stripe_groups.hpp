@@ -1,0 +1,68 @@
+// Stripe groups: xFS's answer to building-wide striping.
+//
+// Striping every write across all 100 workstations would make full-stripe
+// writes impossible (no log segment is 99 units long) and make every
+// client a hot spot for every failure.  xFS instead organizes the storage
+// servers into *stripe groups* of a handful of machines; each log segment
+// is striped across exactly one group, so segment-sized writes are
+// full-stripe writes, and a failure degrades one group, not the building.
+//
+// StripeGroupArray presents the same Storage interface as one RAID but
+// routes fixed-size bands of the address space round-robin across the
+// groups — band k lives in group k mod G, at a densely packed offset
+// within that group.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "raid/raid.hpp"
+
+namespace now::raid {
+
+class StripeGroupArray final : public Storage {
+ public:
+  /// Partitions `members` into groups of `group_size` (a trailing short
+  /// group is dropped — every group has identical geometry).  Address
+  /// bands of `band_bytes` rotate across groups; size bands to the log's
+  /// segment so each segment is one group's full stripes.
+  StripeGroupArray(proto::RpcLayer& rpc, std::vector<os::Node*> members,
+                   RaidParams params, std::size_t group_size,
+                   std::uint64_t band_bytes);
+  StripeGroupArray(const StripeGroupArray&) = delete;
+  StripeGroupArray& operator=(const StripeGroupArray&) = delete;
+
+  void read(net::NodeId client, std::uint64_t offset, std::uint32_t bytes,
+            Done done) override;
+  void write(net::NodeId client, std::uint64_t offset, std::uint32_t bytes,
+             Done done) override;
+
+  /// Propagates a member failure to its group.
+  void member_failed(net::NodeId id);
+  /// True if any group is running degraded.
+  bool degraded() const;
+
+  std::size_t group_count() const { return groups_.size(); }
+  const SoftwareRaid& group(std::size_t g) const { return *groups_[g]; }
+
+  /// Aggregate stats across groups.
+  RaidStats stats() const;
+
+ private:
+  struct Placement {
+    std::size_t group;
+    std::uint64_t offset;  // within the group
+  };
+  Placement place(std::uint64_t offset) const;
+  template <typename Op>
+  void split(net::NodeId client, std::uint64_t offset, std::uint32_t bytes,
+             Done done, Op op);
+
+  std::uint64_t band_bytes_;
+  std::vector<std::unique_ptr<SoftwareRaid>> groups_;
+  std::vector<std::vector<os::Node*>> group_members_;
+};
+
+}  // namespace now::raid

@@ -1,0 +1,78 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace now::sim {
+
+EventId Engine::schedule_at(SimTime at, std::function<void()> fn,
+                            int priority) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{at, priority, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_in(Duration delay, std::function<void()> fn,
+                            int priority) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn), priority);
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  ++cancelled_count_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) {
+      // Cancelled event reached the head; drop its tombstone.
+      assert(cancelled_count_ > 0);
+      --cancelled_count_;
+      continue;
+    }
+    now_ = ev.time;
+    // Move the handler out before invoking: the callback may schedule or
+    // cancel other events, invalidating iterators.
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    ++dispatched_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(SimTime deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past cancelled tombstones to find the next live event time.
+    while (!queue_.empty() && !handlers_.contains(queue_.top().id)) {
+      queue_.pop();
+      assert(cancelled_count_ > 0);
+      --cancelled_count_;
+    }
+    if (queue_.empty() || queue_.top().time > deadline) break;
+    if (step()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace now::sim

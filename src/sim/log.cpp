@@ -1,0 +1,32 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace now::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, SimTime at, const std::string& component,
+              const std::string& message) {
+  std::fprintf(stderr, "[%12.3fms] %-5s %s: %s\n", to_ms(at),
+               level_name(level), component.c_str(), message.c_str());
+}
+
+}  // namespace now::sim

@@ -1,0 +1,45 @@
+// Minimal structured logging stamped with simulated time.
+//
+// Logging defaults to Warn so experiments stay quiet; tests and examples can
+// lower the threshold to trace protocol behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace now::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line: "[  12.345ms] component: message" to stderr.
+void log_line(LogLevel level, SimTime at, const std::string& component,
+              const std::string& message);
+
+/// Convenience builder: LOG_AT(engine.now(), "xfs") << "took over manager";
+class LogStream {
+ public:
+  LogStream(LogLevel level, SimTime at, std::string component)
+      : level_(level), at_(at), component_(std::move(component)) {}
+  ~LogStream() {
+    if (level_ >= log_level()) log_line(level_, at_, component_, os_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  SimTime at_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace now::sim

@@ -1,0 +1,83 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace now::sim {
+
+void Summary::add(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double growth)
+    : lo_(lo), log_growth_(std::log(growth)) {
+  assert(lo > 0 && growth > 1.0);
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  return static_cast<std::size_t>(std::log(x / lo_) / log_growth_);
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  return lo_ * std::exp(log_growth_ * static_cast<double>(i + 1));
+}
+
+void Histogram::add(double x) {
+  summary_.add(x);
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const std::size_t i = bin_index(x);
+  if (i >= bins_.size()) bins_.resize(i + 1, 0);
+  ++bins_[i];
+}
+
+double Histogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t seen = underflow_;
+  if (seen >= target) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen >= target) return bin_upper(i);
+  }
+  return summary_.max();
+}
+
+}  // namespace now::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace now::sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double ad = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (ad < static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(d));
+  } else if (ad < static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%.2f us", to_us(d));
+  } else if (ad < static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", to_ms(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", to_sec(d));
+  }
+  return buf;
+}
+
+}  // namespace now::sim

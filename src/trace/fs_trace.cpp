@@ -1,0 +1,55 @@
+#include "trace/fs_trace.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace now::trace {
+
+std::vector<FsAccess> generate_fs_trace(const FsWorkloadParams& p) {
+  sim::Pcg32 rng(p.seed, /*stream=*/0x66737472);
+  const sim::ZipfSampler shared(p.shared_blocks, p.zipf_shared);
+  const sim::ZipfSampler priv(p.private_blocks, p.zipf_private);
+
+  std::vector<FsAccess> out;
+  out.reserve(p.clients * p.accesses_per_client);
+
+  // Per-client virtual clocks; the final stream is merged by time.
+  for (std::uint32_t c = 0; c < p.clients; ++c) {
+    sim::SimTime t = 0;
+    // Each client walks the shared popularity ranking through its own
+    // random permutation-offset so different clients favour overlapping
+    // but not identical hot sets.
+    const std::uint32_t rotate = rng.next_below(p.shared_blocks / 8 + 1);
+    const bool heavy = rng.bernoulli(p.heavy_client_fraction);
+    const auto n_accesses = static_cast<std::uint64_t>(
+        heavy ? static_cast<double>(p.accesses_per_client)
+              : static_cast<double>(p.accesses_per_client) *
+                    p.light_activity_scale);
+    for (std::uint64_t i = 0; i < n_accesses; ++i) {
+      t += static_cast<sim::Duration>(
+          rng.exponential(static_cast<double>(p.mean_gap)));
+      FsAccess a;
+      a.at = t;
+      a.client = c;
+      a.is_write = rng.bernoulli(p.write_fraction);
+      if (rng.bernoulli(p.shared_fraction)) {
+        const std::uint32_t rank =
+            (shared.sample(rng) + rotate) % p.shared_blocks;
+        a.block = rank;
+      } else {
+        a.block = p.shared_blocks +
+                  static_cast<std::uint64_t>(c) * p.private_blocks +
+                  priv.sample(rng);
+      }
+      out.push_back(a);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FsAccess& a, const FsAccess& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+}  // namespace now::trace

@@ -1,0 +1,51 @@
+// Synthetic file-system trace, standing in for the two-day Berkeley trace
+// behind Table 3.
+//
+// What matters for cooperative caching is the *sharing structure*: a pool
+// of widely shared blocks (executables, font files) that many clients read,
+// plus a per-client private working set larger than one client's cache.
+// Popularities are Zipf; read/write mix and rates are parameterised.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace now::trace {
+
+struct FsAccess {
+  sim::SimTime at = 0;
+  std::uint32_t client = 0;
+  std::uint64_t block = 0;
+  bool is_write = false;
+};
+
+struct FsWorkloadParams {
+  std::uint32_t clients = 42;
+  std::uint64_t accesses_per_client = 40'000;
+  /// Widely shared blocks (executables/fonts): ~96 MB at 8 KB blocks.
+  std::uint32_t shared_blocks = 12'288;
+  /// Per-client private blocks: ~56 MB — deliberately bigger than the
+  /// 16 MB client cache of Table 3.
+  std::uint32_t private_blocks = 7'168;
+  /// Fraction of accesses that go to the shared pool.
+  double shared_fraction = 0.30;
+  double zipf_shared = 1.0;
+  double zipf_private = 0.80;
+  double write_fraction = 0.12;
+  /// Activity skew, as in the real Berkeley trace: a minority of clients do
+  /// most of the work while the rest are nearly idle — idle clients' cache
+  /// memory is exactly what cooperative caching recruits.
+  double heavy_client_fraction = 0.35;
+  /// Light clients issue this fraction of a heavy client's accesses.
+  double light_activity_scale = 0.08;
+  /// Mean inter-access gap per client (only used for timestamps).
+  sim::Duration mean_gap = 50 * sim::kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a time-ordered access stream.
+std::vector<FsAccess> generate_fs_trace(const FsWorkloadParams& params);
+
+}  // namespace now::trace

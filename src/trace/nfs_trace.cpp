@@ -1,0 +1,46 @@
+#include "trace/nfs_trace.hpp"
+
+#include "sim/random.hpp"
+
+namespace now::trace {
+
+std::vector<NfsMessage> generate_nfs_messages(const NfsWorkloadParams& p) {
+  sim::Pcg32 rng(p.seed, /*stream=*/0x6e6673);
+  std::vector<NfsMessage> out;
+  out.reserve(p.messages);
+  for (std::uint64_t i = 0; i < p.messages; ++i) {
+    NfsMessage m;
+    if (rng.bernoulli(p.metadata_fraction)) {
+      m.is_metadata = true;
+      m.bytes = static_cast<std::uint32_t>(
+          rng.uniform_int(p.metadata_min, p.metadata_max));
+    } else {
+      m.is_metadata = false;
+      m.bytes = static_cast<std::uint32_t>(
+          rng.uniform_int(p.data_min, p.data_max));
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+double total_time_us(const std::vector<NfsMessage>& msgs,
+                     double fixed_us_per_message, double us_per_byte) {
+  double sum = 0;
+  for (const NfsMessage& m : msgs) {
+    sum += fixed_us_per_message + us_per_byte * m.bytes;
+  }
+  return sum;
+}
+
+double fraction_below(const std::vector<NfsMessage>& msgs,
+                      std::uint32_t bytes) {
+  if (msgs.empty()) return 0;
+  std::uint64_t n = 0;
+  for (const NfsMessage& m : msgs) {
+    if (m.bytes < bytes) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(msgs.size());
+}
+
+}  // namespace now::trace

@@ -1,0 +1,54 @@
+#include "trace/parallel_trace.hpp"
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace now::trace {
+
+std::vector<ParallelJob> generate_parallel_jobs(
+    const ParallelJobParams& p) {
+  sim::Pcg32 rng(p.seed, /*stream=*/0x6a6f6273);
+  std::vector<ParallelJob> jobs;
+  sim::SimTime t = 0;
+  for (;;) {
+    t += static_cast<sim::Duration>(
+        rng.exponential(static_cast<double>(p.mean_interarrival)));
+    if (t >= p.duration) break;
+    ParallelJob j;
+    j.arrival = t;
+    j.development = rng.bernoulli(p.development_fraction);
+    // Widths: development jobs small (4-16), production often full width.
+    std::uint32_t w = 4;
+    if (j.development) {
+      const int shift = static_cast<int>(rng.next_below(3));  // 4,8,16
+      w = 4u << shift;
+    } else {
+      const int shift = static_cast<int>(rng.next_below(3));  // 8,16,32
+      w = 8u << shift;
+    }
+    j.width = std::min(w, p.partition);
+    if (j.development) {
+      j.work = static_cast<sim::Duration>(
+          rng.exponential(static_cast<double>(2 * sim::kMinute)));
+    } else {
+      // Log-uniform between 5 minutes and 2 hours.
+      const double lo = std::log(5.0 * 60.0);
+      const double hi = std::log(2.0 * 3600.0);
+      j.work = sim::from_sec(std::exp(rng.uniform(lo, hi)));
+    }
+    if (j.work < sim::kSecond) j.work = sim::kSecond;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+double total_processor_seconds(const std::vector<ParallelJob>& jobs) {
+  double sum = 0;
+  for (const ParallelJob& j : jobs) {
+    sum += sim::to_sec(j.work) * j.width;
+  }
+  return sum;
+}
+
+}  // namespace now::trace

@@ -1,0 +1,40 @@
+// Synthetic parallel-job trace, standing in for the month of LANL CM-5
+// accounting data (32-node partition, mix of production and development
+// runs) used in the Figure 3 study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace now::trace {
+
+struct ParallelJob {
+  sim::SimTime arrival = 0;
+  /// Processors the gang needs (power of two, <= partition width).
+  std::uint32_t width = 32;
+  /// Per-processor CPU demand when run undisturbed.
+  sim::Duration work = 0;
+  bool development = false;  // short debugging run vs production run
+};
+
+struct ParallelJobParams {
+  sim::Duration duration = 12 * sim::kHour;
+  /// Partition size of the traced MPP.
+  std::uint32_t partition = 32;
+  /// Mean time between job arrivals.
+  sim::Duration mean_interarrival = 12 * sim::kMinute;
+  /// Development runs: short (mean 2 min); production: log-uniform
+  /// 5 min - 2 h.
+  double development_fraction = 0.6;
+  std::uint64_t seed = 1;
+};
+
+std::vector<ParallelJob> generate_parallel_jobs(
+    const ParallelJobParams& params);
+
+/// Aggregate demand in processor-seconds, for utilization sanity checks.
+double total_processor_seconds(const std::vector<ParallelJob>& jobs);
+
+}  // namespace now::trace

@@ -1,0 +1,75 @@
+#include "trace/usage_trace.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace now::trace {
+
+UsageTrace::UsageTrace(const UsageParams& p) : duration_(p.duration) {
+  sim::Pcg32 rng(p.seed, /*stream=*/0x75736167);
+  per_node_.resize(p.workstations);
+  for (std::uint32_t n = 0; n < p.workstations; ++n) {
+    if (!rng.bernoulli(p.owner_present_probability)) continue;  // away today
+    // The owner arrives some time in the first third of the day.
+    sim::SimTime t = static_cast<sim::SimTime>(
+        rng.uniform(0.0, static_cast<double>(p.duration) / 3.0));
+    while (t < p.duration) {
+      const auto busy_len = static_cast<sim::Duration>(
+          rng.exponential(static_cast<double>(p.mean_busy)));
+      const sim::SimTime end = std::min<sim::SimTime>(t + busy_len,
+                                                      p.duration);
+      if (end > t) per_node_[n].push_back(BusyInterval{t, end});
+      const auto idle_len = static_cast<sim::Duration>(
+          rng.pareto(p.idle_tail_alpha, static_cast<double>(p.min_idle),
+                     static_cast<double>(p.max_idle)));
+      t = end + idle_len;
+    }
+  }
+}
+
+bool UsageTrace::busy(std::uint32_t node, sim::SimTime t) const {
+  const auto& v = per_node_[node];
+  // First interval beginning after t; the one before may cover t.
+  auto it = std::upper_bound(v.begin(), v.end(), t,
+                             [](sim::SimTime x, const BusyInterval& b) {
+                               return x < b.begin;
+                             });
+  if (it == v.begin()) return false;
+  --it;
+  return t < it->end;
+}
+
+bool UsageTrace::idle_through(std::uint32_t node, sim::SimTime t,
+                              sim::Duration window) const {
+  const auto& v = per_node_[node];
+  const sim::SimTime end = t + window;
+  for (const BusyInterval& b : v) {
+    if (b.begin >= end) break;
+    if (b.end > t) return false;  // overlaps [t, end)
+  }
+  return true;
+}
+
+double UsageTrace::fraction_always_idle() const {
+  if (per_node_.empty()) return 1.0;
+  std::size_t idle = 0;
+  for (const auto& v : per_node_) {
+    if (v.empty()) ++idle;
+  }
+  return static_cast<double>(idle) / static_cast<double>(per_node_.size());
+}
+
+double UsageTrace::average_idle_fraction(sim::Duration step) const {
+  if (per_node_.empty() || duration_ <= 0) return 1.0;
+  std::uint64_t samples = 0, idle = 0;
+  for (std::uint32_t n = 0; n < per_node_.size(); ++n) {
+    for (sim::SimTime t = 0; t < duration_; t += step) {
+      ++samples;
+      if (!busy(n, t)) ++idle;
+    }
+  }
+  return static_cast<double>(idle) / static_cast<double>(samples);
+}
+
+}  // namespace now::trace

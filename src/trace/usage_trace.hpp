@@ -1,0 +1,70 @@
+// Synthetic interactive-usage trace, standing in for the paper's two months
+// of logs from 53 DECstations (CPU/keyboard/mouse sampled every 2 s).
+//
+// The finding that matters: "even during the daytime hours, more than 60
+// percent of workstations were available 100 percent of the time" — idleness
+// is plentiful and heavy-tailed.  Each workstation alternates busy bursts
+// and long-tailed idle gaps; only a subset of machines see any use on a
+// given day.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace now::trace {
+
+struct BusyInterval {
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+};
+
+struct UsageParams {
+  std::uint32_t workstations = 53;
+  sim::Duration duration = 12 * sim::kHour;  // one working day
+  /// Probability a workstation's owner shows up at all.
+  double owner_present_probability = 0.55;
+  /// Busy-burst length: exponential with this mean.
+  sim::Duration mean_busy = 4 * sim::kMinute;
+  /// Idle-gap length: bounded Pareto (heavy tail) with this minimum.
+  sim::Duration min_idle = 2 * sim::kMinute;
+  sim::Duration max_idle = 3 * sim::kHour;
+  double idle_tail_alpha = 1.1;
+  std::uint64_t seed = 1;
+};
+
+/// A day of per-workstation busy intervals, queryable by time.
+class UsageTrace {
+ public:
+  explicit UsageTrace(const UsageParams& params);
+
+  std::uint32_t workstations() const {
+    return static_cast<std::uint32_t>(per_node_.size());
+  }
+  sim::Duration duration() const { return duration_; }
+
+  /// True if a user was active on `node` at `t`.
+  bool busy(std::uint32_t node, sim::SimTime t) const;
+
+  /// True if `node` sees no activity anywhere in [t, t+window].
+  bool idle_through(std::uint32_t node, sim::SimTime t,
+                    sim::Duration window) const;
+
+  const std::vector<BusyInterval>& intervals(std::uint32_t node) const {
+    return per_node_[node];
+  }
+
+  /// Fraction of workstations with zero activity across the whole trace —
+  /// the paper's ">60 % available 100 % of the time" statistic.
+  double fraction_always_idle() const;
+
+  /// Fraction of (node, t) samples that are idle, sampling every `step`.
+  double average_idle_fraction(sim::Duration step) const;
+
+ private:
+  sim::Duration duration_;
+  std::vector<std::vector<BusyInterval>> per_node_;
+};
+
+}  // namespace now::trace

@@ -1,0 +1,108 @@
+#include "xfs/central_server.hpp"
+
+#include <cassert>
+
+namespace now::xfs {
+
+namespace {
+struct CfsReq {
+  BlockId block;
+  bool is_write;
+};
+struct CfsResp {
+  bool from_memory;
+};
+constexpr sim::Duration kOpTimeout = 500 * sim::kMillisecond;
+}  // namespace
+
+CentralServerFs::CentralServerFs(proto::RpcLayer& rpc, os::Node& server,
+                                 std::vector<os::Node*> clients,
+                                 CentralFsParams params)
+    : rpc_(rpc), server_(server), params_(params),
+      server_cache_(params.server_cache_blocks) {
+  for (os::Node* c : clients) {
+    clients_.emplace(c->id(), ClientState(params_.client_cache_blocks));
+  }
+}
+
+void CentralServerFs::start() { install_server(); }
+
+void CentralServerFs::install_server() {
+  rpc_.register_method(
+      server_.id(), kCfsRead,
+      [this](net::NodeId, std::any req, proto::RpcLayer::ReplyFn reply) {
+        const auto r = std::any_cast<CfsReq>(req);
+        if (server_cache_.touch(r.block)) {
+          reply(params_.block_bytes + 32, CfsResp{true});
+          return;
+        }
+        // Disk read, then install in the server cache.
+        server_.disk().read(r.block * params_.block_bytes,
+                            params_.block_bytes,
+                            [this, b = r.block,
+                             reply = std::move(reply)]() mutable {
+                              server_cache_.insert(b);
+                              reply(params_.block_bytes + 32,
+                                    CfsResp{false});
+                            });
+      });
+  rpc_.register_method(
+      server_.id(), kCfsWrite,
+      [this](net::NodeId, std::any req, proto::RpcLayer::ReplyFn reply) {
+        const auto r = std::any_cast<CfsReq>(req);
+        server_cache_.insert(r.block);
+        on_disk_.insert(r.block);
+        // Write-through to the server disk.
+        server_.disk().write(r.block * params_.block_bytes,
+                             params_.block_bytes,
+                             [reply = std::move(reply)]() mutable {
+                               reply(32, {});
+                             });
+      });
+}
+
+void CentralServerFs::read(net::NodeId client, BlockId b,
+                           std::function<void(bool)> done) {
+  ++stats_.reads;
+  ClientState& cs = cstate(client);
+  if (cs.cache.touch(b)) {
+    ++stats_.local_hits;
+    // Local hit costs one block copy (Table 2's memcpy component).
+    rpc_.engine().schedule_in(sim::from_us(250),
+                              [done = std::move(done)] { done(true); });
+    return;
+  }
+  rpc_.call(
+      client, server_.id(), kCfsRead, 48, CfsReq{b, false},
+      [this, client, b, done](std::any resp) mutable {
+        const auto r = std::any_cast<CfsResp>(resp);
+        if (r.from_memory) {
+          ++stats_.server_mem_hits;
+        } else {
+          ++stats_.server_disk_reads;
+        }
+        cstate(client).cache.insert(b);
+        done(true);
+      },
+      kOpTimeout,
+      [this, done]() mutable {
+        ++stats_.failed_ops;  // the building just lost its file system
+        done(false);
+      });
+}
+
+void CentralServerFs::write(net::NodeId client, BlockId b,
+                            std::function<void(bool)> done) {
+  ++stats_.writes;
+  cstate(client).cache.insert(b);
+  rpc_.call(
+      client, server_.id(), kCfsWrite, params_.block_bytes + 48,
+      CfsReq{b, true},
+      [done](std::any) mutable { done(true); }, kOpTimeout,
+      [this, done]() mutable {
+        ++stats_.failed_ops;
+        done(false);
+      });
+}
+
+}  // namespace now::xfs

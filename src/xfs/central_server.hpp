@@ -1,0 +1,87 @@
+// The incumbent xFS replaces: a central-server network file system.
+//
+// "In most network file systems, a central server machine provides the
+// abstraction of a single file system... Unfortunately, a central server
+// design has performance, availability, and cost drawbacks.  Any
+// centralized resource will become a bottleneck with enough users."
+//
+// This model is that incumbent: one server node owns the cache and the
+// disk; every client miss is an RPC to it, every dirty block is written
+// through to it, and when it dies the building's file service dies with
+// it.  The xFS comparison bench sweeps client count against both designs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "coopcache/lru.hpp"
+#include "proto/rpc.hpp"
+#include "xfs/log.hpp"
+
+namespace now::xfs {
+
+inline constexpr proto::MethodId kCfsRead = 140;
+inline constexpr proto::MethodId kCfsWrite = 141;
+
+struct CentralFsParams {
+  std::uint32_t block_bytes = 8192;
+  std::uint32_t client_cache_blocks = 2048;
+  /// Server memory cache (the one machine whose DRAM helps everybody).
+  std::uint32_t server_cache_blocks = 16384;
+};
+
+struct CentralFsStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t server_mem_hits = 0;
+  std::uint64_t server_disk_reads = 0;
+  std::uint64_t failed_ops = 0;  // server down
+};
+
+/// A classic client/server network file system over the same RPC substrate
+/// xFS uses, so the comparison isolates the architecture.
+class CentralServerFs {
+ public:
+  using Done = std::function<void()>;
+
+  /// `server` owns cache and disk; `clients` are everyone else.
+  CentralServerFs(proto::RpcLayer& rpc, os::Node& server,
+                  std::vector<os::Node*> clients, CentralFsParams params);
+  CentralServerFs(const CentralServerFs&) = delete;
+  CentralServerFs& operator=(const CentralServerFs&) = delete;
+
+  void start();
+
+  /// Reads block `b` on behalf of `client`: local cache, else server
+  /// memory, else the server's disk.  `done(ok)` reports failure when the
+  /// server is unreachable — the availability story in one bool.
+  void read(net::NodeId client, BlockId b, std::function<void(bool)> done);
+
+  /// Write-through to the server.
+  void write(net::NodeId client, BlockId b, std::function<void(bool)> done);
+
+  const CentralFsStats& stats() const { return stats_; }
+  net::NodeId server_id() const { return server_.id(); }
+
+ private:
+  struct ClientState {
+    explicit ClientState(std::uint32_t cap) : cache(cap) {}
+    coopcache::LruCache cache;
+  };
+
+  void install_server();
+  ClientState& cstate(net::NodeId c) { return clients_.at(c); }
+
+  proto::RpcLayer& rpc_;
+  os::Node& server_;
+  CentralFsParams params_;
+  std::unordered_map<net::NodeId, ClientState> clients_;
+  coopcache::LruCache server_cache_;
+  /// Blocks that exist on the server disk (written at least once).
+  std::unordered_set<BlockId> on_disk_;
+  CentralFsStats stats_;
+};
+
+}  // namespace now::xfs

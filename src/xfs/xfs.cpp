@@ -1,0 +1,662 @@
+#include "xfs/xfs.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace now::xfs {
+
+namespace {
+constexpr proto::MethodId kXfsRead = 130;
+constexpr proto::MethodId kXfsWrite = 131;
+constexpr proto::MethodId kInvalidate = 132;
+constexpr proto::MethodId kRevoke = 133;
+constexpr proto::MethodId kPeerFetch = 134;
+constexpr proto::MethodId kFlushed = 135;
+constexpr proto::MethodId kEvicted = 136;
+constexpr proto::MethodId kReport = 137;
+
+struct BlockReq {
+  BlockId block;
+  net::NodeId requester;
+};
+enum class ReadSource : std::uint8_t { kZero, kPeer, kLog, kRetry };
+struct ReadDirective {
+  ReadSource source = ReadSource::kZero;
+  net::NodeId peer = net::kInvalidNode;
+};
+struct WriteGrant {
+  bool had_data = false;
+  bool retry = false;
+};
+struct FetchReply {
+  bool found = false;
+};
+struct FlushNotice {
+  std::vector<BlockId> blocks;
+  net::NodeId writer;
+};
+struct EvictNotice {
+  BlockId block;
+  net::NodeId client;
+};
+struct ReportEntry {
+  BlockId block;
+  bool dirty;
+};
+}  // namespace
+
+Xfs::Xfs(proto::RpcLayer& rpc, LogStore& log, std::vector<os::Node*> nodes,
+         XfsParams params)
+    : rpc_(rpc), log_(log), nodes_(std::move(nodes)), params_(params) {
+  assert(nodes_.size() >= 2);
+  for (os::Node* n : nodes_) {
+    ring_.push_back(n->id());
+    clients_.emplace(n->id(), ClientState(params_.client_cache_blocks));
+    managers_.emplace(n->id(),
+                      std::unordered_map<BlockId, BlockMeta>{});
+  }
+}
+
+net::NodeId Xfs::manager_of(BlockId b) const {
+  return ring_[b % ring_.size()];
+}
+
+os::Node* Xfs::node(net::NodeId id) const {
+  for (os::Node* n : nodes_) {
+    if (n->id() == id) return n;
+  }
+  return nullptr;
+}
+
+std::size_t Xfs::cached_blocks(net::NodeId client) const {
+  return clients_.at(client).cache.size();
+}
+
+bool Xfs::is_cached(net::NodeId client, BlockId b) const {
+  return clients_.at(client).cache.contains(b);
+}
+
+bool Xfs::is_dirty(net::NodeId client, BlockId b) const {
+  const ClientState& cs = clients_.at(client);
+  return cs.dirty.contains(b) || cs.staged_set.contains(b);
+}
+
+net::NodeId Xfs::debug_owner(BlockId b) const {
+  const auto mit = managers_.find(manager_of(b));
+  if (mit == managers_.end()) return net::kInvalidNode;
+  const auto it = mit->second.find(b);
+  return it == mit->second.end() ? net::kInvalidNode : it->second.owner;
+}
+
+bool Xfs::coherence_invariant_holds() const {
+  // 1. At most one dirty holder per block.
+  std::unordered_map<BlockId, net::NodeId> dirty_holder;
+  for (const auto& [c, cs] : clients_) {
+    auto check = [&](BlockId b) {
+      const auto [it, fresh] = dirty_holder.emplace(b, c);
+      return fresh || it->second == c;
+    };
+    for (const BlockId b : cs.dirty) {
+      if (!check(b)) return false;
+    }
+    for (const BlockId b : cs.staged) {
+      if (!check(b)) return false;
+    }
+  }
+  // 2. A manager's owner record points at a node that actually holds the
+  //    block dirty (or the record is for in-flight state, tolerated only
+  //    when the node still caches the block).
+  for (const auto& [mgr, map] : managers_) {
+    for (const auto& [b, meta] : map) {
+      if (meta.owner == net::kInvalidNode) continue;
+      const auto it = clients_.find(meta.owner);
+      if (it == clients_.end()) return false;
+      if (!it->second.cache.contains(b) &&
+          !it->second.staged_set.contains(b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Xfs::client_has_block(net::NodeId c, BlockId b) const {
+  const ClientState& cs = clients_.at(c);
+  return cs.cache.contains(b) || cs.staged_set.contains(b);
+}
+
+void Xfs::start() {
+  assert(!started_);
+  started_ = true;
+  for (os::Node* n : nodes_) install_services(*n);
+}
+
+void Xfs::install_services(os::Node& node) {
+  const net::NodeId self = node.id();
+
+  // ---- Manager-side services ----------------------------------------
+  rpc_.register_method(
+      self, kXfsRead,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        if (recovering_.contains(self)) {
+          reply(32, ReadDirective{ReadSource::kRetry, net::kInvalidNode});
+          return;
+        }
+        const auto r = std::any_cast<BlockReq>(req);
+        auto& map = mstate(self);
+        BlockMeta& meta = map[r.block];
+        ReadDirective d;
+        const auto alive = [this](net::NodeId id) {
+          const os::Node* n = this->node(id);
+          return n != nullptr && n->alive();
+        };
+        if (meta.owner != net::kInvalidNode && meta.owner != r.requester &&
+            alive(meta.owner)) {
+          d = ReadDirective{ReadSource::kPeer, meta.owner};
+        } else {
+          d.source = ReadSource::kZero;
+          for (const net::NodeId peer : meta.readers) {
+            if (peer != r.requester && alive(peer) &&
+                client_has_block(peer, r.block)) {
+              d = ReadDirective{ReadSource::kPeer, peer};
+              break;
+            }
+          }
+          if (d.source != ReadSource::kPeer) {
+            d.source = log_.in_log(r.block) ? ReadSource::kLog
+                                            : ReadSource::kZero;
+          }
+        }
+        meta.readers.insert(r.requester);
+        reply(32, d);
+      });
+
+  rpc_.register_method(
+      self, kXfsWrite,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        if (recovering_.contains(self)) {
+          reply(32, WriteGrant{false, true});
+          return;
+        }
+        const auto r = std::any_cast<BlockReq>(req);
+        BlockMeta& meta = mstate(self)[r.block];
+        if (meta.write_in_progress) {
+          // Serialize ownership transfers per block; see BlockMeta.
+          meta.pending_writes.emplace_back(r.requester, std::move(reply));
+          return;
+        }
+        manager_write(self, r.block, r.requester, std::move(reply));
+      });
+
+  rpc_.register_method(
+      self, kFlushed,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        const auto notice = std::any_cast<FlushNotice>(req);
+        auto& map = mstate(self);
+        for (const BlockId b : notice.blocks) {
+          const auto it = map.find(b);
+          if (it == map.end()) continue;
+          if (it->second.owner == notice.writer) {
+            it->second.owner = net::kInvalidNode;
+          }
+          it->second.readers.erase(notice.writer);
+          if (it->second.owner == net::kInvalidNode &&
+              it->second.readers.empty()) {
+            map.erase(it);
+          }
+        }
+        reply(16, {});
+      });
+
+  rpc_.register_method(
+      self, kEvicted,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        const auto notice = std::any_cast<EvictNotice>(req);
+        auto& map = mstate(self);
+        const auto it = map.find(notice.block);
+        if (it != map.end()) {
+          it->second.readers.erase(notice.client);
+          if (it->second.owner == net::kInvalidNode &&
+              it->second.readers.empty()) {
+            map.erase(it);
+          }
+        }
+        reply(16, {});
+      });
+
+  // ---- Client-side services ------------------------------------------
+  rpc_.register_method(
+      self, kInvalidate,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        const auto b = std::any_cast<BlockId>(req);
+        ClientState& cs = cstate(self);
+        cs.cache.erase(b);
+        cs.dirty.erase(b);
+        reply(16, {});
+      });
+
+  rpc_.register_method(
+      self, kRevoke,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        const auto b = std::any_cast<BlockId>(req);
+        ClientState& cs = cstate(self);
+        cs.cache.erase(b);
+        cs.dirty.erase(b);
+        if (cs.staged_set.erase(b) > 0) {
+          std::erase(cs.staged, b);
+        }
+        // The reply carries the (possibly dirty) data to the manager.
+        reply(params_.block_bytes + 16, {});
+      });
+
+  rpc_.register_method(
+      self, kPeerFetch,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        const auto b = std::any_cast<BlockId>(req);
+        ClientState& cs = cstate(self);
+        const bool found = client_has_block(self, b);
+        if (cs.cache.contains(b)) cs.cache.touch(b);
+        reply(found ? params_.block_bytes + 16 : 16, FetchReply{found});
+      });
+
+  rpc_.register_method(
+      self, kReport,
+      [this, self](net::NodeId, std::any req,
+                   proto::RpcLayer::ReplyFn reply) {
+        const auto mgr = std::any_cast<net::NodeId>(req);
+        const ClientState& cs = clients_.at(self);
+        std::vector<ReportEntry> entries;
+        auto consider = [&](BlockId b, bool dirty) {
+          if (manager_of(b) == mgr) entries.push_back({b, dirty});
+        };
+        // LruCache has no iteration; report from the coherence-relevant
+        // sets the client keeps: dirty + staged, plus reads are rebuilt
+        // lazily (a stale directory miss just falls back to the log).
+        for (const BlockId b : cs.dirty) consider(b, true);
+        for (const BlockId b : cs.staged) consider(b, true);
+        const auto bytes =
+            static_cast<std::uint32_t>(16 + entries.size() * 16);
+        reply(bytes, std::move(entries));
+      });
+}
+
+void Xfs::manager_write(net::NodeId self, BlockId b, net::NodeId requester,
+                        proto::RpcLayer::ReplyFn reply) {
+  BlockMeta& meta = mstate(self)[b];
+  meta.write_in_progress = true;
+
+  // Collect everyone who must give up their copy.
+  std::vector<net::NodeId> to_invalidate;
+  for (const net::NodeId peer : meta.readers) {
+    if (peer != requester && peer != meta.owner) {
+      to_invalidate.push_back(peer);
+    }
+  }
+  const net::NodeId prev_owner =
+      (meta.owner != net::kInvalidNode && meta.owner != requester)
+          ? meta.owner
+          : net::kInvalidNode;
+
+  meta.owner = requester;
+  meta.readers.clear();
+  meta.readers.insert(requester);
+
+  auto complete = [this, self, b](proto::RpcLayer::ReplyFn rep,
+                                  bool had_data) {
+    rep(had_data ? params_.block_bytes + 32 : 32,
+        WriteGrant{had_data, false});
+    BlockMeta& m = mstate(self)[b];
+    if (m.pending_writes.empty()) {
+      m.write_in_progress = false;
+      return;
+    }
+    auto [next_requester, next_reply] = std::move(m.pending_writes.front());
+    m.pending_writes.pop_front();
+    // The grant reply above was sent before the revoke this transaction is
+    // about to issue, and the AM pair is FIFO, so ordering is safe.
+    manager_write(self, b, next_requester, std::move(next_reply));
+  };
+
+  const std::size_t parties =
+      to_invalidate.size() + (prev_owner != net::kInvalidNode ? 1 : 0);
+  if (parties == 0) {
+    complete(std::move(reply), false);
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(parties);
+  auto had_data = std::make_shared<bool>(false);
+  auto finish = [remaining, had_data, complete = std::move(complete),
+                 reply = std::move(reply)]() mutable {
+    if (--*remaining > 0) return;
+    complete(std::move(reply), *had_data);
+  };
+  for (const net::NodeId peer : to_invalidate) {
+    ++stats_.invalidations;
+    rpc_.call(self, peer, kInvalidate, 32, b,
+              [finish](std::any) mutable { finish(); },
+              params_.op_timeout, [finish]() mutable { finish(); });
+  }
+  if (prev_owner != net::kInvalidNode) {
+    ++stats_.ownership_transfers;
+    rpc_.call(self, prev_owner, kRevoke, 32, b,
+              [finish, had_data](std::any) mutable {
+                *had_data = true;
+                finish();
+              },
+              params_.op_timeout, [finish]() mutable { finish(); });
+  }
+}
+
+void Xfs::read(net::NodeId client, BlockId b, Done done) {
+  ++stats_.reads;
+  const sim::SimTime t0 = engine().now();
+  do_read(client, b,
+          [this, t0, done = std::move(done)]() mutable {
+            stats_.read_latency_us.add(sim::to_us(engine().now() - t0));
+            done();
+          },
+          0);
+}
+
+void Xfs::finish_read(net::NodeId c, BlockId b, Done done) {
+  insert_cached(c, b, /*dirty=*/false);
+  done();
+}
+
+void Xfs::retry_op(net::NodeId c, BlockId b, bool is_write, Done done,
+                   std::uint32_t attempts) {
+  ++stats_.op_retries;
+  engine().schedule_in(params_.retry_backoff,
+                       [this, c, b, is_write, done = std::move(done),
+                        attempts]() mutable {
+                         if (is_write) {
+                           do_write(c, b, std::move(done), attempts + 1);
+                         } else {
+                           do_read(c, b, std::move(done), attempts + 1);
+                         }
+                       });
+}
+
+void Xfs::do_read(net::NodeId c, BlockId b, Done done,
+                  std::uint32_t attempts) {
+  ClientState& cs = cstate(c);
+  if (cs.cache.contains(b) || cs.staged_set.contains(b)) {
+    ++stats_.local_hits;
+    cs.cache.touch(b);
+    engine().schedule_in(node(c)->copy_cost(params_.block_bytes),
+                         std::move(done));
+    return;
+  }
+  if (attempts > params_.max_op_retries) {
+    // Out of patience (manager unreachable): surface as completion; a real
+    // FS would return EIO here.
+    done();
+    return;
+  }
+  rpc_.call(
+      c, manager_of(b), kXfsRead, 48, BlockReq{b, c},
+      [this, c, b, done, attempts](std::any resp) mutable {
+        const auto d = std::any_cast<ReadDirective>(resp);
+        switch (d.source) {
+          case ReadSource::kRetry:
+            retry_op(c, b, false, std::move(done), attempts);
+            return;
+          case ReadSource::kZero:
+            ++stats_.zero_fills;
+            engine().schedule_in(
+                node(c)->copy_cost(params_.block_bytes) / 4,
+                [this, c, b, done = std::move(done)]() mutable {
+                  finish_read(c, b, std::move(done));
+                });
+            return;
+          case ReadSource::kLog:
+            ++stats_.log_reads;
+            log_.read_block(c, b,
+                            [this, c, b, done = std::move(done)]() mutable {
+                              finish_read(c, b, std::move(done));
+                            });
+            return;
+          case ReadSource::kPeer:
+            rpc_.call(
+                c, d.peer, kPeerFetch, 32, b,
+                [this, c, b, done, attempts](std::any fr) mutable {
+                  if (std::any_cast<FetchReply>(fr).found) {
+                    ++stats_.peer_fetches;
+                    finish_read(c, b, std::move(done));
+                  } else {
+                    // Peer dropped it in the meantime: ask again.
+                    retry_op(c, b, false, std::move(done), attempts);
+                  }
+                },
+                params_.op_timeout,
+                [this, c, b, done, attempts]() mutable {
+                  retry_op(c, b, false, std::move(done), attempts);
+                });
+            return;
+        }
+      },
+      params_.op_timeout,
+      [this, c, b, done, attempts]() mutable {
+        retry_op(c, b, false, std::move(done), attempts);
+      });
+}
+
+void Xfs::write(net::NodeId client, BlockId b, Done done) {
+  ++stats_.writes;
+  const sim::SimTime t0 = engine().now();
+  do_write(client, b,
+           [this, t0, done = std::move(done)]() mutable {
+             stats_.write_latency_us.add(sim::to_us(engine().now() - t0));
+             done();
+           },
+           0);
+}
+
+void Xfs::do_write(net::NodeId c, BlockId b, Done done,
+                   std::uint32_t attempts) {
+  ClientState& cs = cstate(c);
+  if (cs.cache.contains(b) && cs.dirty.contains(b)) {
+    ++stats_.local_hits;
+    cs.cache.touch(b);
+    engine().schedule_in(node(c)->copy_cost(params_.block_bytes),
+                         std::move(done));
+    return;
+  }
+  if (attempts > params_.max_op_retries) {
+    done();
+    return;
+  }
+  rpc_.call(
+      c, manager_of(b), kXfsWrite, 48, BlockReq{b, c},
+      [this, c, b, done, attempts](std::any resp) mutable {
+        const auto grant = std::any_cast<WriteGrant>(resp);
+        if (grant.retry) {
+          retry_op(c, b, true, std::move(done), attempts);
+          return;
+        }
+        ClientState& state = cstate(c);
+        // A staged older version is superseded by this new ownership.
+        if (state.staged_set.erase(b) > 0) std::erase(state.staged, b);
+        insert_cached(c, b, /*dirty=*/true);
+        done();
+      },
+      params_.op_timeout,
+      [this, c, b, done, attempts]() mutable {
+        retry_op(c, b, true, std::move(done), attempts);
+      });
+}
+
+void Xfs::insert_cached(net::NodeId c, BlockId b, bool dirty) {
+  ClientState& cs = cstate(c);
+  if (dirty) cs.dirty.insert(b);
+  std::uint64_t victim = 0;
+  const bool evicted = cs.cache.insert(b, &victim);
+  if (evicted) handle_evicted(c, victim);
+}
+
+void Xfs::handle_evicted(net::NodeId c, BlockId victim) {
+  ClientState& cs = cstate(c);
+  if (cs.dirty.erase(victim) > 0) {
+    // Dirty data enters the write-behind buffer bound for the log.
+    if (!cs.staged_set.contains(victim)) {
+      cs.staged.push_back(victim);
+      cs.staged_set.insert(victim);
+    }
+    if (cs.staged.size() >=
+        static_cast<std::size_t>(params_.segment_blocks)) {
+      flush_segment(c, [] {});
+    }
+    return;
+  }
+  // Clean copy dropped: tell the directory (fire and forget).
+  ++stats_.evict_notices;
+  rpc_.call(c, manager_of(victim), kEvicted, 48, EvictNotice{victim, c},
+            [](std::any) {});
+}
+
+void Xfs::flush_segment(net::NodeId c, Done done) {
+  ClientState& cs = cstate(c);
+  if (cs.flushing) {
+    // One flush at a time; the caller re-checks (sync() loops).
+    engine().schedule_in(sim::kMillisecond, std::move(done));
+    return;
+  }
+  if (cs.staged.empty()) {
+    done();
+    return;
+  }
+  cs.flushing = true;
+  const std::size_t take = std::min<std::size_t>(cs.staged.size(),
+                                                 params_.segment_blocks);
+  std::vector<BlockId> batch(cs.staged.begin(),
+                             cs.staged.begin() +
+                                 static_cast<std::ptrdiff_t>(take));
+  cs.staged.erase(cs.staged.begin(),
+                  cs.staged.begin() + static_cast<std::ptrdiff_t>(take));
+
+  log_.append_segment(c, batch, [this, c, batch,
+                                 done = std::move(done)]() mutable {
+    ++stats_.segments_flushed;
+    ClientState& state = cstate(c);
+    // Group the notifications per manager.
+    std::unordered_map<net::NodeId, std::vector<BlockId>> per_mgr;
+    for (const BlockId b : batch) {
+      state.staged_set.erase(b);
+      per_mgr[manager_of(b)].push_back(b);
+    }
+    for (auto& [mgr, blocks] : per_mgr) {
+      const auto bytes =
+          static_cast<std::uint32_t>(32 + blocks.size() * 8);
+      rpc_.call(c, mgr, kFlushed, bytes,
+                FlushNotice{std::move(blocks), c}, [](std::any) {});
+    }
+    state.flushing = false;
+    done();
+  });
+}
+
+void Xfs::sync(net::NodeId client, Done done) {
+  ClientState& cs = cstate(client);
+  // Dirty blocks still in the cache are committed too: they stage for the
+  // log and stay cached as clean copies (ownership is released when the
+  // flush notice reaches their managers).
+  for (const BlockId b : cs.dirty) {
+    if (!cs.staged_set.contains(b)) {
+      cs.staged.push_back(b);
+      cs.staged_set.insert(b);
+    }
+  }
+  cs.dirty.clear();
+  if (cs.staged.empty() && !cs.flushing) {
+    done();
+    return;
+  }
+  flush_segment(client, [this, client, done = std::move(done)]() mutable {
+    sync(client, std::move(done));
+  });
+}
+
+void Xfs::clean(net::NodeId driver,
+                std::function<void(std::uint32_t)> done) {
+  log_.clean(driver, params_.clean_threshold, std::move(done));
+}
+
+void Xfs::client_crashed(net::NodeId client) {
+  for (auto& [mgr, map] : managers_) {
+    for (auto it = map.begin(); it != map.end();) {
+      BlockMeta& meta = it->second;
+      meta.readers.erase(client);
+      if (meta.owner == client) {
+        meta.owner = net::kInvalidNode;
+        // Whatever wasn't flushed is gone; readers will get the last
+        // logged version (or zero fill).
+        ++stats_.lost_dirty_blocks;
+      }
+      if (meta.owner == net::kInvalidNode && meta.readers.empty()) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // The node's memory is gone.
+  auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    clients_.erase(it);
+    clients_.emplace(client, ClientState(params_.client_cache_blocks));
+  }
+}
+
+void Xfs::manager_takeover(net::NodeId failed, net::NodeId successor,
+                           Done done) {
+  ++stats_.manager_takeovers;
+  for (net::NodeId& m : ring_) {
+    if (m == failed) m = successor;
+  }
+  managers_.erase(failed);  // its directory died with it
+  recovering_.insert(successor);
+
+  // Rebuild the directory from the survivors' reports.
+  std::vector<net::NodeId> survivors;
+  for (os::Node* n : nodes_) {
+    if (n->id() != failed && n->alive()) survivors.push_back(n->id());
+  }
+  if (survivors.empty()) {
+    recovering_.erase(successor);
+    engine().schedule_in(0, [done = std::move(done)] {
+      if (done) done();
+    });
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(survivors.size());
+  auto finish = [this, successor, remaining,
+                 done = std::move(done)]() mutable {
+    if (--*remaining > 0) return;
+    recovering_.erase(successor);
+    if (done) done();
+  };
+  for (const net::NodeId peer : survivors) {
+    rpc_.call(successor, peer, kReport, 32, successor,
+              [this, successor, peer, finish](std::any resp) mutable {
+                const auto entries =
+                    std::any_cast<std::vector<ReportEntry>>(resp);
+                auto& map = mstate(successor);
+                for (const ReportEntry& e : entries) {
+                  BlockMeta& meta = map[e.block];
+                  meta.readers.insert(peer);
+                  if (e.dirty) meta.owner = peer;
+                }
+                finish();
+              },
+              params_.op_timeout, [finish]() mutable { finish(); });
+  }
+}
+
+}  // namespace now::xfs

@@ -1,0 +1,367 @@
+// Unit tests for the workstation CPU scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/cpu.hpp"
+#include "sim/engine.hpp"
+
+namespace now::os {
+namespace {
+
+using namespace now::sim::literals;
+using sim::Duration;
+using sim::Engine;
+
+CpuParams fast_params() {
+  CpuParams p;
+  p.quantum = 100_ms;
+  p.context_switch = 0;  // most tests want exact arithmetic
+  p.mflops = 100.0;
+  return p;
+}
+
+TEST(Cpu, SingleProcessRunsToCompletion) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime done_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute(pid, 250_ms, [&] {
+      done_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.run();
+  EXPECT_EQ(done_at, 250_ms);
+  EXPECT_FALSE(cpu.exists(pid));
+}
+
+TEST(Cpu, TwoEqualProcessesShareTheCpu) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime a_done = -1, b_done = -1;
+  const ProcessId a = cpu.spawn("a", SchedClass::kBatch, [&] {
+    cpu.compute(a, 300_ms, [&] {
+      a_done = eng.now();
+      cpu.exit(a);
+    });
+  });
+  const ProcessId b = cpu.spawn("b", SchedClass::kBatch, [&] {
+    cpu.compute(b, 300_ms, [&] {
+      b_done = eng.now();
+      cpu.exit(b);
+    });
+  });
+  eng.run();
+  // Round-robin with 100 ms quanta: both finish near 600 ms, a one quantum
+  // before b.
+  EXPECT_EQ(a_done, 500_ms);
+  EXPECT_EQ(b_done, 600_ms);
+}
+
+TEST(Cpu, WallClockDegradesLinearlyWithLoad) {
+  for (int n : {1, 2, 4}) {
+    Engine eng;
+    Cpu cpu(eng, fast_params());
+    int done = 0;
+    std::vector<ProcessId> pids(n);
+    for (int i = 0; i < n; ++i) {
+      pids[i] = cpu.spawn("q", SchedClass::kBatch, [&cpu, &done, &pids, i] {
+        cpu.compute(pids[i], 200_ms, [&cpu, &done, &pids, i] {
+          ++done;
+          cpu.exit(pids[i]);
+        });
+      });
+    }
+    eng.run();
+    EXPECT_EQ(done, n);
+    EXPECT_EQ(eng.now(), n * 200_ms);
+  }
+}
+
+TEST(Cpu, BlockAndWakeResumes) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime resumed_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.block(pid, [&] {
+      resumed_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.schedule_at(42_ms, [&] { cpu.wake(pid); });
+  eng.run();
+  EXPECT_EQ(resumed_at, 42_ms);
+}
+
+TEST(Cpu, WakeOnRunnableProcessIsNoOp) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  int runs = 0;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    ++runs;
+    cpu.compute(pid, 10_ms, [&] { cpu.exit(pid); });
+  });
+  cpu.wake(pid);  // already ready
+  eng.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Cpu, WokenProcessWaitsForRunningProcessQuantum) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime handled_at = -1;
+  const ProcessId rx = cpu.spawn("rx", SchedClass::kBatch, [&] {
+    cpu.block(rx, [&] {
+      handled_at = eng.now();
+      cpu.exit(rx);
+    });
+  });
+  eng.run();  // rx dispatches and blocks awaiting its "message"
+  const ProcessId bg = cpu.spawn("bg", SchedClass::kBatch, [&] {
+    cpu.compute(bg, 1'000_ms, [&] { cpu.exit(bg); });
+  });
+  // A "message" arrives for rx at t=10ms while bg is mid-quantum.  With
+  // batch-class round-robin, rx runs only at the quantum boundary -- the
+  // local-scheduling delay at the heart of Figure 4.
+  eng.schedule_at(10_ms, [&] { cpu.wake(rx); });
+  eng.run();
+  EXPECT_EQ(handled_at, 100_ms);
+}
+
+TEST(Cpu, InteractiveWakePreemptsBatchImmediately) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime handled_at = -1;
+  const ProcessId bg = cpu.spawn("bg", SchedClass::kBatch, [&] {
+    cpu.compute(bg, 1'000_ms, [&] { cpu.exit(bg); });
+  });
+  const ProcessId ui = cpu.spawn("ui", SchedClass::kInteractive, [&] {
+    cpu.block(ui, [&] {
+      handled_at = eng.now();
+      cpu.exit(ui);
+    });
+  });
+  eng.schedule_at(10_ms, [&] { cpu.wake(ui); });
+  eng.run();
+  EXPECT_EQ(handled_at, 10_ms);
+  // bg keeps the work it retired before preemption and completes on time.
+  EXPECT_EQ(eng.now(), 1'000_ms);
+}
+
+TEST(Cpu, StealDelaysRunningProcess) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime done_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute(pid, 50_ms, [&] {
+      done_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.schedule_at(10_ms, [&] { cpu.steal(5_ms); });
+  eng.run();
+  EXPECT_EQ(done_at, 55_ms);
+}
+
+TEST(Cpu, StealWhileIdleOnlyAccountsBusyTime) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  eng.schedule_at(10_ms, [&] { cpu.steal(3_ms); });
+  eng.run();
+  EXPECT_EQ(cpu.busy_time(), 3_ms);
+}
+
+TEST(Cpu, UtilizationReflectsBusyFraction) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute(pid, 100_ms, [&] { cpu.exit(pid); });
+  });
+  eng.run();
+  eng.run_until(400_ms);  // 300 ms idle tail
+  EXPECT_NEAR(cpu.utilization(), 0.25, 0.01);
+}
+
+TEST(Cpu, KillReadyProcessNeverRuns) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  bool ran = false;
+  const ProcessId a = cpu.spawn("a", SchedClass::kBatch, [&] {
+    cpu.compute(a, 100_ms, [&] { cpu.exit(a); });
+  });
+  const ProcessId b = cpu.spawn("b", SchedClass::kBatch, [&ran] { ran = true; });
+  cpu.kill(b);
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(cpu.exists(b));
+}
+
+TEST(Cpu, KillRunningProcessFreesCpu) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  bool a_finished = false;
+  sim::SimTime b_done = -1;
+  const ProcessId a = cpu.spawn("a", SchedClass::kBatch, [&] {
+    cpu.compute(a, 1'000_ms, [&] {
+      a_finished = true;
+      cpu.exit(a);
+    });
+  });
+  const ProcessId b = cpu.spawn("b", SchedClass::kBatch, [&] {
+    cpu.compute(b, 100_ms, [&] {
+      b_done = eng.now();
+      cpu.exit(b);
+    });
+  });
+  eng.schedule_at(50_ms, [&] { cpu.kill(a); });
+  eng.run();
+  EXPECT_FALSE(a_finished);
+  // b ran 50 ms behind a's partial slice, then finished its 100 ms alone.
+  EXPECT_EQ(b_done, 150_ms);
+}
+
+TEST(Cpu, ResetKillsEverything) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  int completions = 0;
+  std::vector<ProcessId> pids(3);
+  for (int i = 0; i < 3; ++i) {
+    pids[i] = cpu.spawn("p", SchedClass::kBatch, [&cpu, &completions, &pids, i] {
+      cpu.compute(pids[i], 500_ms, [&cpu, &completions, &pids, i] {
+        ++completions;
+        cpu.exit(pids[i]);
+      });
+    });
+  }
+  eng.schedule_at(100_ms, [&] { cpu.reset(); });
+  eng.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_TRUE(cpu.idle());
+}
+
+TEST(Cpu, ContextSwitchCostAccrues) {
+  Engine eng;
+  CpuParams p = fast_params();
+  p.context_switch = 1_ms;
+  Cpu cpu(eng, p);
+  sim::SimTime done_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute(pid, 100_ms, [&] {
+      done_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.run();
+  EXPECT_EQ(done_at, 101_ms);  // one dispatch, one switch
+}
+
+TEST(Cpu, ComputeFlopsUsesMflopsRating) {
+  Engine eng;
+  CpuParams p = fast_params();
+  p.mflops = 50.0;
+  Cpu cpu(eng, p);
+  sim::SimTime done_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute_flops(pid, 5e6, [&] {  // 5 MFLOP at 50 MFLOPS = 100 ms
+      done_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.run();
+  EXPECT_EQ(done_at, 100_ms);
+}
+
+TEST(Cpu, SuspendStopsRunningProcess) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime done_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute(pid, 100_ms, [&] {
+      done_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.schedule_at(30_ms, [&] { cpu.suspend(pid); });
+  eng.schedule_at(500_ms, [&] { cpu.resume(pid); });
+  eng.run();
+  // 30 ms retired before the stop, 70 ms after the resume.
+  EXPECT_EQ(done_at, 570_ms);
+  EXPECT_TRUE(cpu.idle());
+}
+
+TEST(Cpu, SuspendedReadyProcessNeverDispatches) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  bool ran = false;
+  const ProcessId a = cpu.spawn("a", SchedClass::kBatch, [&] {
+    cpu.compute(a, 100_ms, [&] { cpu.exit(a); });
+  });
+  const ProcessId b = cpu.spawn("b", SchedClass::kBatch, [&ran] { ran = true; });
+  cpu.suspend(b);
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(cpu.suspended(b));
+  cpu.resume(b);
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Cpu, WakeWhileSuspendedIsRememberedUntilResume) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime resumed_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.block(pid, [&] {
+      resumed_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  eng.run();                                        // now blocked
+  cpu.suspend(pid);
+  eng.schedule_at(10_ms, [&] { cpu.wake(pid); });   // message arrives
+  eng.schedule_at(200_ms, [&] { cpu.resume(pid); });
+  eng.run();
+  EXPECT_EQ(resumed_at, 200_ms);  // handled only once coscheduled again
+}
+
+TEST(Cpu, SuspendResumeRoundTripPreservesWork) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  sim::SimTime done_at = -1;
+  const ProcessId pid = cpu.spawn("p", SchedClass::kBatch, [&] {
+    cpu.compute(pid, 300_ms, [&] {
+      done_at = eng.now();
+      cpu.exit(pid);
+    });
+  });
+  // Stop/resume repeatedly; total on-CPU time must still be 300 ms.
+  for (int i = 1; i <= 4; ++i) {
+    eng.schedule_at(i * 100_ms, [&] { cpu.suspend(pid); });
+    eng.schedule_at(i * 100_ms + 50_ms, [&] { cpu.resume(pid); });
+  }
+  eng.run();
+  // Four 50 ms suspensions land before completion, delaying it to 500 ms.
+  EXPECT_EQ(done_at, 300_ms + 4 * 50_ms);
+}
+
+TEST(Cpu, DispatchObserverFiresOnDispatch) {
+  Engine eng;
+  Cpu cpu(eng, fast_params());
+  std::vector<ProcessId> dispatched;
+  cpu.add_dispatch_observer([&](ProcessId pid) { dispatched.push_back(pid); });
+  const ProcessId a = cpu.spawn("a", SchedClass::kBatch, [&] {
+    cpu.compute(a, 150_ms, [&] { cpu.exit(a); });
+  });
+  const ProcessId b = cpu.spawn("b", SchedClass::kBatch, [&] {
+    cpu.compute(b, 150_ms, [&] { cpu.exit(b); });
+  });
+  eng.run();
+  // a, b each dispatched at least twice (quantum rotation).
+  EXPECT_GE(dispatched.size(), 4u);
+  EXPECT_EQ(dispatched[0], a);
+  EXPECT_EQ(dispatched[1], b);
+}
+
+}  // namespace
+}  // namespace now::os

@@ -1,0 +1,143 @@
+// Tests that the analytic models reproduce the paper's tables.
+#include <gtest/gtest.h>
+
+#include "models/access.hpp"
+#include "models/cost.hpp"
+#include "models/gator.hpp"
+#include "models/techtrend.hpp"
+
+namespace now::models {
+namespace {
+
+// ---- Table 4 ---------------------------------------------------------
+
+TEST(Gator, C90MatchesPaperRow) {
+  const auto t = gator_time(GatorWorkload{}, c90_16());
+  EXPECT_NEAR(t.ode_sec, 7, 1.0);
+  EXPECT_NEAR(t.transport_sec, 4, 1.5);
+  EXPECT_NEAR(t.input_sec, 16, 1.0);
+  EXPECT_NEAR(t.total_sec, 27, 3.0);
+}
+
+TEST(Gator, ParagonMatchesPaperRow) {
+  const auto t = gator_time(GatorWorkload{}, paragon_256());
+  EXPECT_NEAR(t.ode_sec, 12, 1.0);
+  EXPECT_NEAR(t.transport_sec, 24, 2.0);
+  EXPECT_NEAR(t.input_sec, 10, 1.0);
+  EXPECT_NEAR(t.total_sec, 46, 4.0);
+}
+
+TEST(Gator, EthernetPvmBaselineIsDreadful) {
+  const auto t = gator_time(GatorWorkload{}, rs6000_ethernet_pvm());
+  EXPECT_NEAR(t.ode_sec, 4, 1.0);
+  EXPECT_NEAR(t.transport_sec, 23'340, 800);
+  EXPECT_NEAR(t.input_sec, 4'030, 150);
+  EXPECT_NEAR(t.total_sec, 27'374, 1'000);
+  // "three orders of magnitude longer than the Paragon or C-90"
+  const auto c90 = gator_time(GatorWorkload{}, c90_16());
+  EXPECT_GT(t.total_sec / c90.total_sec, 500);
+}
+
+TEST(Gator, EachUpgradeBuysAnOrderOfMagnitude) {
+  const GatorWorkload w;
+  const double base = gator_time(w, rs6000_ethernet_pvm()).total_sec;
+  const double atm = gator_time(w, rs6000_atm_pvm()).total_sec;
+  const double pfs = gator_time(w, rs6000_atm_pfs()).total_sec;
+  const double am = gator_time(w, rs6000_atm_pfs_am()).total_sec;
+  EXPECT_NEAR(atm, 2'211, 250);
+  EXPECT_NEAR(pfs, 205, 30);
+  EXPECT_NEAR(am, 21, 8);
+  EXPECT_GT(base / atm, 8);
+  EXPECT_GT(atm / pfs, 8);
+  EXPECT_GT(pfs / am, 8);
+}
+
+TEST(Gator, FinalNowCompetesWithC90AndBeatsParagon) {
+  const GatorWorkload w;
+  const auto now_final = gator_time(w, rs6000_atm_pfs_am());
+  const auto c90 = gator_time(w, c90_16());
+  const auto paragon = gator_time(w, paragon_256());
+  EXPECT_LT(now_final.total_sec, paragon.total_sec);
+  EXPECT_LT(now_final.total_sec, c90.total_sec * 1.5);
+  EXPECT_LT(rs6000_atm_pfs_am().cost_millions, c90_16().cost_millions / 5);
+}
+
+// ---- Figure 1 --------------------------------------------------------
+
+TEST(Figure1, FourWayDesktopIsTheCheapestBuild) {
+  const auto systems = figure1_systems();
+  const double best = figure1_best_price();
+  EXPECT_DOUBLE_EQ(figure1_system_price(systems[2]), best);  // 4-way SS-10
+}
+
+TEST(Figure1, ServersAndMppsCostAboutTwiceTheBestWorkstation) {
+  const auto systems = figure1_systems();
+  const double best = figure1_best_price();
+  for (std::size_t i = 3; i < systems.size(); ++i) {
+    const double ratio = figure1_system_price(systems[i]) / best;
+    EXPECT_GT(ratio, 1.6) << systems[i].name;
+    EXPECT_LT(ratio, 3.0) << systems[i].name;
+  }
+}
+
+TEST(Figure1, RepackagingReducesDesktopCost) {
+  const auto systems = figure1_systems();
+  EXPECT_GT(figure1_system_price(systems[0]),
+            figure1_system_price(systems[1]));
+  EXPECT_GT(figure1_system_price(systems[1]),
+            figure1_system_price(systems[2]));
+}
+
+TEST(BellRule, ThirtyThousandToOneGivesAboutFivefold) {
+  // "over the past five years the volume of personal computers shipped per
+  // supercomputer has been about 30,000:1.  Thus, Bell's rule predicts a
+  // fivefold cost advantage."
+  EXPECT_NEAR(bell_cost_multiplier(30'000), 5.0, 0.7);
+}
+
+// ---- Table 2 ---------------------------------------------------------
+
+TEST(Table2, RowTotalsMatchPaper) {
+  const auto rows = table2_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].total_us(), 6'900, 1);    // Ethernet remote memory
+  EXPECT_NEAR(rows[1].total_us(), 21'700, 1);   // Ethernet remote disk
+  EXPECT_NEAR(rows[2].total_us(), 1'050, 1);    // ATM remote memory
+  EXPECT_NEAR(rows[3].total_us(), 15'850, 1);   // ATM remote disk
+}
+
+TEST(Table2, AtmRemoteMemoryIsOrderOfMagnitudeFasterThanDisk) {
+  const auto rows = table2_rows();
+  EXPECT_GT(rows[3].total_us() / rows[2].total_us(), 10.0);
+}
+
+TEST(Table2, SimulatorAgreesWithTheArithmetic) {
+  // The fabric models in src/net should land near the same totals.
+  EXPECT_NEAR(simulated_remote_memory_us(false), 6'900, 900);
+  EXPECT_NEAR(simulated_remote_memory_us(true), 1'050, 300);
+}
+
+// ---- Table 1 ---------------------------------------------------------
+
+TEST(Table1, MppsLagOneToTwoYears) {
+  for (const auto& row : table1_rows()) {
+    EXPECT_GE(row.lag_years(), 1.0) << row.mpp;
+    EXPECT_LE(row.lag_years(), 2.0) << row.mpp;
+  }
+}
+
+TEST(Table1, TwoYearLagCostsMoreThanTwofold) {
+  EXPECT_GT(performance_lag_factor(2.0, 0.5), 2.0);
+  EXPECT_NEAR(performance_lag_factor(2.0, 0.5), 2.25, 0.01);
+}
+
+TEST(Trends, WorkstationCurveRunsAwayFromSupercomputers) {
+  // 80 %/yr vs 20-30 %/yr: after five years the gap is 6-8x and still
+  // compounding.
+  EXPECT_GT(price_performance_divergence(5.0), 5.0);
+  EXPECT_GT(price_performance_divergence(10.0),
+            price_performance_divergence(5.0) * 5.0);
+}
+
+}  // namespace
+}  // namespace now::models

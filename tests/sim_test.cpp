@@ -1,0 +1,300 @@
+// Unit tests for the discrete-event engine, RNG, and statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace now::sim {
+namespace {
+
+using namespace now::sim::literals;
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, DispatchesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(5, [&] { order.push_back(1); });
+  eng.schedule_at(5, [&] { order.push_back(2); });
+  eng.schedule_at(5, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByPriorityBeforeInsertion) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(5, [&] { order.push_back(1); }, /*priority=*/1);
+  eng.schedule_at(5, [&] { order.push_back(2); }, /*priority=*/0);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_in(10, [&] {
+    eng.schedule_in(10, [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 20);
+}
+
+TEST(Engine, CancelPreventsDispatch) {
+  Engine eng;
+  int fired = 0;
+  const EventId id = eng.schedule_in(10, [&] { ++fired; });
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));  // double-cancel is a no-op
+  eng.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.schedule_at(30, [&] { ++fired; });
+  eng.run_until(20);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline run
+  EXPECT_EQ(eng.now(), 20);
+  eng.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Engine eng;
+  eng.run_until(5 * kSecond);
+  EXPECT_EQ(eng.now(), 5 * kSecond);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] {
+    ++fired;
+    eng.stop();
+  });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine eng;
+  eng.schedule_at(100, [] {});
+  eng.run();
+  SimTime fired_at = -1;
+  eng.schedule_at(50, [&] { fired_at = eng.now(); });  // in the past
+  eng.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Engine, CancelFromWithinAHandler) {
+  Engine eng;
+  int fired = 0;
+  EventId later = 0;
+  eng.schedule_at(10, [&] {
+    // Cancel an event that is already in the queue for the same instant
+    // and one in the future.
+    eng.cancel(later);
+  });
+  later = eng.schedule_at(20, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, HandlerSchedulingAtCurrentInstantRunsThisPass) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(10, [&] {
+    order.push_back(1);
+    eng.schedule_at(10, [&] { order.push_back(2); });  // same instant
+  });
+  eng.schedule_at(11, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, DispatchedCounts) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_at(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.dispatched(), 7u);
+}
+
+TEST(Time, ConversionRoundTrip) {
+  EXPECT_EQ(from_us(1.0), kMicrosecond);
+  EXPECT_EQ(from_ms(1.0), kMillisecond);
+  EXPECT_EQ(from_sec(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(to_us(123 * kMicrosecond), 123.0);
+  EXPECT_DOUBLE_EQ(to_ms(250 * kMicrosecond), 0.25);
+  EXPECT_DOUBLE_EQ(to_sec(1500 * kMillisecond), 1.5);
+}
+
+TEST(Time, FormatPicksUnits) {
+  EXPECT_EQ(format_duration(500), "500 ns");
+  EXPECT_EQ(format_duration(12 * kMicrosecond + 340), "12.34 us");
+  EXPECT_EQ(format_duration(3 * kSecond), "3.00 s");
+}
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, StreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformInRange) {
+  Pcg32 r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Pcg32, NextBelowUnbiasedCoverage) {
+  Pcg32 r(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[r.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Pcg32, ExponentialMeanConverges) {
+  Pcg32 r(5);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(10.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.5);
+}
+
+TEST(Pcg32, ParetoStaysInBounds) {
+  Pcg32 r(6);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = r.pareto(1.2, 1.0, 1000.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1000.0 + 1e-9);
+  }
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 r(7);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds) {
+  Pcg32 r(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  Pcg32 r(9);
+  ZipfSampler z(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(r)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  Pcg32 r(10);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(r)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, MergeMatchesCombined) {
+  Summary a, b, all;
+  Pcg32 r(11);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal(0, 1);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = r.normal(10, 3);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Histogram, PercentilesBracketTrueValues) {
+  Histogram h(1.0, 1.05);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.percentile(0.5), 500, 500 * 0.06);
+  EXPECT_NEAR(h.percentile(0.99), 990, 990 * 0.06);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+}  // namespace
+}  // namespace now::sim
