@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cosched_skew"
+  "../bench/bench_ablation_cosched_skew.pdb"
+  "CMakeFiles/bench_ablation_cosched_skew.dir/bench_ablation_cosched_skew.cpp.o"
+  "CMakeFiles/bench_ablation_cosched_skew.dir/bench_ablation_cosched_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cosched_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

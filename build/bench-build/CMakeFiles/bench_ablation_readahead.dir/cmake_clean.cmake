@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_readahead"
+  "../bench/bench_ablation_readahead.pdb"
+  "CMakeFiles/bench_ablation_readahead.dir/bench_ablation_readahead.cpp.o"
+  "CMakeFiles/bench_ablation_readahead.dir/bench_ablation_readahead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure1_cost"
+  "../bench/bench_figure1_cost.pdb"
+  "CMakeFiles/bench_figure1_cost.dir/bench_figure1_cost.cpp.o"
+  "CMakeFiles/bench_figure1_cost.dir/bench_figure1_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

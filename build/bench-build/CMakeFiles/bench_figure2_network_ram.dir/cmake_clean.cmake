@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure2_network_ram"
+  "../bench/bench_figure2_network_ram.pdb"
+  "CMakeFiles/bench_figure2_network_ram.dir/bench_figure2_network_ram.cpp.o"
+  "CMakeFiles/bench_figure2_network_ram.dir/bench_figure2_network_ram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_network_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure3_mixed_workload"
+  "../bench/bench_figure3_mixed_workload.pdb"
+  "CMakeFiles/bench_figure3_mixed_workload.dir/bench_figure3_mixed_workload.cpp.o"
+  "CMakeFiles/bench_figure3_mixed_workload.dir/bench_figure3_mixed_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure4_coscheduling"
+  "../bench/bench_figure4_coscheduling.pdb"
+  "CMakeFiles/bench_figure4_coscheduling.dir/bench_figure4_coscheduling.cpp.o"
+  "CMakeFiles/bench_figure4_coscheduling.dir/bench_figure4_coscheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

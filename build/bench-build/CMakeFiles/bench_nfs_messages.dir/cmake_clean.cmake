@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nfs_messages"
+  "../bench/bench_nfs_messages.pdb"
+  "CMakeFiles/bench_nfs_messages.dir/bench_nfs_messages.cpp.o"
+  "CMakeFiles/bench_nfs_messages.dir/bench_nfs_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nfs_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

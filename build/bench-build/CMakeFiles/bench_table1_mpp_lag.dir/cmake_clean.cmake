@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_mpp_lag"
+  "../bench/bench_table1_mpp_lag.pdb"
+  "CMakeFiles/bench_table1_mpp_lag.dir/bench_table1_mpp_lag.cpp.o"
+  "CMakeFiles/bench_table1_mpp_lag.dir/bench_table1_mpp_lag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mpp_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

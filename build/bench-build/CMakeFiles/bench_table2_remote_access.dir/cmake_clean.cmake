@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_remote_access"
+  "../bench/bench_table2_remote_access.pdb"
+  "CMakeFiles/bench_table2_remote_access.dir/bench_table2_remote_access.cpp.o"
+  "CMakeFiles/bench_table2_remote_access.dir/bench_table2_remote_access.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_remote_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_coopcache"
+  "../bench/bench_table3_coopcache.pdb"
+  "CMakeFiles/bench_table3_coopcache.dir/bench_table3_coopcache.cpp.o"
+  "CMakeFiles/bench_table3_coopcache.dir/bench_table3_coopcache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_coopcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

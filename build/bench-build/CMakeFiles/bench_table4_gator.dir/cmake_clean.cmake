@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_gator"
+  "../bench/bench_table4_gator.pdb"
+  "CMakeFiles/bench_table4_gator.dir/bench_table4_gator.cpp.o"
+  "CMakeFiles/bench_table4_gator.dir/bench_table4_gator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_xfs"
+  "../bench/bench_xfs.pdb"
+  "CMakeFiles/bench_xfs.dir/bench_xfs.cpp.o"
+  "CMakeFiles/bench_xfs.dir/bench_xfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_xfs_vs_central"
+  "../bench/bench_xfs_vs_central.pdb"
+  "CMakeFiles/bench_xfs_vs_central.dir/bench_xfs_vs_central.cpp.o"
+  "CMakeFiles/bench_xfs_vs_central.dir/bench_xfs_vs_central.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xfs_vs_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/berkeley_now_100.cpp" "examples/CMakeFiles/berkeley_now_100.dir/berkeley_now_100.cpp.o" "gcc" "examples/CMakeFiles/berkeley_now_100.dir/berkeley_now_100.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/now_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/glunix/CMakeFiles/now_glunix.dir/DependInfo.cmake"
+  "/root/repo/build/src/netram/CMakeFiles/now_netram.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfs/CMakeFiles/now_xfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/now_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/now_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/now_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/coopcache/CMakeFiles/now_coopcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/now_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/now_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/berkeley_now_100.dir/berkeley_now_100.cpp.o"
+  "CMakeFiles/berkeley_now_100.dir/berkeley_now_100.cpp.o.d"
+  "berkeley_now_100"
+  "berkeley_now_100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/berkeley_now_100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

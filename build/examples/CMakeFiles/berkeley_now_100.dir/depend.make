@@ -1,0 +1,2 @@
+# Empty dependencies file for berkeley_now_100.
+# This may be replaced when dependencies are built.

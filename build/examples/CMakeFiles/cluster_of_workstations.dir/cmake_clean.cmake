@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_of_workstations.dir/cluster_of_workstations.cpp.o"
+  "CMakeFiles/cluster_of_workstations.dir/cluster_of_workstations.cpp.o.d"
+  "cluster_of_workstations"
+  "cluster_of_workstations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_of_workstations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

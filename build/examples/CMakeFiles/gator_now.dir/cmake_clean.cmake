@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gator_now.dir/gator_now.cpp.o"
+  "CMakeFiles/gator_now.dir/gator_now.cpp.o.d"
+  "gator_now"
+  "gator_now.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gator_now.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netram_sort.dir/netram_sort.cpp.o"
+  "CMakeFiles/netram_sort.dir/netram_sort.cpp.o.d"
+  "netram_sort"
+  "netram_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netram_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

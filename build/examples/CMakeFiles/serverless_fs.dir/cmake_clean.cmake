@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_fs.dir/serverless_fs.cpp.o"
+  "CMakeFiles/serverless_fs.dir/serverless_fs.cpp.o.d"
+  "serverless_fs"
+  "serverless_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

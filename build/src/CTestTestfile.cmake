@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("proto")
+subdirs("os")
+subdirs("netram")
+subdirs("coopcache")
+subdirs("raid")
+subdirs("xfs")
+subdirs("glunix")
+subdirs("trace")
+subdirs("models")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_coopcache.dir/coopcache.cpp.o"
+  "CMakeFiles/now_coopcache.dir/coopcache.cpp.o.d"
+  "libnow_coopcache.a"
+  "libnow_coopcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_coopcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_core.dir/cluster.cpp.o"
+  "CMakeFiles/now_core.dir/cluster.cpp.o.d"
+  "libnow_core.a"
+  "libnow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

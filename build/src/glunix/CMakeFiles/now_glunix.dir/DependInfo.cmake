@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glunix/collectives.cpp" "src/glunix/CMakeFiles/now_glunix.dir/collectives.cpp.o" "gcc" "src/glunix/CMakeFiles/now_glunix.dir/collectives.cpp.o.d"
+  "/root/repo/src/glunix/coschedule.cpp" "src/glunix/CMakeFiles/now_glunix.dir/coschedule.cpp.o" "gcc" "src/glunix/CMakeFiles/now_glunix.dir/coschedule.cpp.o.d"
+  "/root/repo/src/glunix/glunix.cpp" "src/glunix/CMakeFiles/now_glunix.dir/glunix.cpp.o" "gcc" "src/glunix/CMakeFiles/now_glunix.dir/glunix.cpp.o.d"
+  "/root/repo/src/glunix/overlay_sim.cpp" "src/glunix/CMakeFiles/now_glunix.dir/overlay_sim.cpp.o" "gcc" "src/glunix/CMakeFiles/now_glunix.dir/overlay_sim.cpp.o.d"
+  "/root/repo/src/glunix/spmd.cpp" "src/glunix/CMakeFiles/now_glunix.dir/spmd.cpp.o" "gcc" "src/glunix/CMakeFiles/now_glunix.dir/spmd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/now_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/now_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/now_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

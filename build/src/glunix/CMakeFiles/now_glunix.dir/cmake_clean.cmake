@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_glunix.dir/collectives.cpp.o"
+  "CMakeFiles/now_glunix.dir/collectives.cpp.o.d"
+  "CMakeFiles/now_glunix.dir/coschedule.cpp.o"
+  "CMakeFiles/now_glunix.dir/coschedule.cpp.o.d"
+  "CMakeFiles/now_glunix.dir/glunix.cpp.o"
+  "CMakeFiles/now_glunix.dir/glunix.cpp.o.d"
+  "CMakeFiles/now_glunix.dir/overlay_sim.cpp.o"
+  "CMakeFiles/now_glunix.dir/overlay_sim.cpp.o.d"
+  "CMakeFiles/now_glunix.dir/spmd.cpp.o"
+  "CMakeFiles/now_glunix.dir/spmd.cpp.o.d"
+  "libnow_glunix.a"
+  "libnow_glunix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_glunix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/access.cpp" "src/models/CMakeFiles/now_models.dir/access.cpp.o" "gcc" "src/models/CMakeFiles/now_models.dir/access.cpp.o.d"
+  "/root/repo/src/models/cost.cpp" "src/models/CMakeFiles/now_models.dir/cost.cpp.o" "gcc" "src/models/CMakeFiles/now_models.dir/cost.cpp.o.d"
+  "/root/repo/src/models/gator.cpp" "src/models/CMakeFiles/now_models.dir/gator.cpp.o" "gcc" "src/models/CMakeFiles/now_models.dir/gator.cpp.o.d"
+  "/root/repo/src/models/logp.cpp" "src/models/CMakeFiles/now_models.dir/logp.cpp.o" "gcc" "src/models/CMakeFiles/now_models.dir/logp.cpp.o.d"
+  "/root/repo/src/models/techtrend.cpp" "src/models/CMakeFiles/now_models.dir/techtrend.cpp.o" "gcc" "src/models/CMakeFiles/now_models.dir/techtrend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/now_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_models.dir/access.cpp.o"
+  "CMakeFiles/now_models.dir/access.cpp.o.d"
+  "CMakeFiles/now_models.dir/cost.cpp.o"
+  "CMakeFiles/now_models.dir/cost.cpp.o.d"
+  "CMakeFiles/now_models.dir/gator.cpp.o"
+  "CMakeFiles/now_models.dir/gator.cpp.o.d"
+  "CMakeFiles/now_models.dir/logp.cpp.o"
+  "CMakeFiles/now_models.dir/logp.cpp.o.d"
+  "CMakeFiles/now_models.dir/techtrend.cpp.o"
+  "CMakeFiles/now_models.dir/techtrend.cpp.o.d"
+  "libnow_models.a"
+  "libnow_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

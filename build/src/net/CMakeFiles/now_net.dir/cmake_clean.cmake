@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_net.dir/network.cpp.o"
+  "CMakeFiles/now_net.dir/network.cpp.o.d"
+  "CMakeFiles/now_net.dir/presets.cpp.o"
+  "CMakeFiles/now_net.dir/presets.cpp.o.d"
+  "CMakeFiles/now_net.dir/shared_bus.cpp.o"
+  "CMakeFiles/now_net.dir/shared_bus.cpp.o.d"
+  "CMakeFiles/now_net.dir/switched.cpp.o"
+  "CMakeFiles/now_net.dir/switched.cpp.o.d"
+  "libnow_net.a"
+  "libnow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_netram.dir/multigrid.cpp.o"
+  "CMakeFiles/now_netram.dir/multigrid.cpp.o.d"
+  "CMakeFiles/now_netram.dir/pager.cpp.o"
+  "CMakeFiles/now_netram.dir/pager.cpp.o.d"
+  "CMakeFiles/now_netram.dir/registry.cpp.o"
+  "CMakeFiles/now_netram.dir/registry.cpp.o.d"
+  "libnow_netram.a"
+  "libnow_netram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_netram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

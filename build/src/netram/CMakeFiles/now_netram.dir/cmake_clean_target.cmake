@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnow_netram.a"
+)

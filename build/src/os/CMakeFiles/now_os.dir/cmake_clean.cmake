@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_os.dir/cpu.cpp.o"
+  "CMakeFiles/now_os.dir/cpu.cpp.o.d"
+  "CMakeFiles/now_os.dir/disk.cpp.o"
+  "CMakeFiles/now_os.dir/disk.cpp.o.d"
+  "CMakeFiles/now_os.dir/node.cpp.o"
+  "CMakeFiles/now_os.dir/node.cpp.o.d"
+  "CMakeFiles/now_os.dir/vm.cpp.o"
+  "CMakeFiles/now_os.dir/vm.cpp.o.d"
+  "libnow_os.a"
+  "libnow_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/am.cpp" "src/proto/CMakeFiles/now_proto.dir/am.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/am.cpp.o.d"
+  "/root/repo/src/proto/am_sockets.cpp" "src/proto/CMakeFiles/now_proto.dir/am_sockets.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/am_sockets.cpp.o.d"
+  "/root/repo/src/proto/costs.cpp" "src/proto/CMakeFiles/now_proto.dir/costs.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/costs.cpp.o.d"
+  "/root/repo/src/proto/nic_mux.cpp" "src/proto/CMakeFiles/now_proto.dir/nic_mux.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/nic_mux.cpp.o.d"
+  "/root/repo/src/proto/pvm.cpp" "src/proto/CMakeFiles/now_proto.dir/pvm.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/pvm.cpp.o.d"
+  "/root/repo/src/proto/rpc.cpp" "src/proto/CMakeFiles/now_proto.dir/rpc.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/rpc.cpp.o.d"
+  "/root/repo/src/proto/tcp.cpp" "src/proto/CMakeFiles/now_proto.dir/tcp.cpp.o" "gcc" "src/proto/CMakeFiles/now_proto.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/now_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_proto.dir/am.cpp.o"
+  "CMakeFiles/now_proto.dir/am.cpp.o.d"
+  "CMakeFiles/now_proto.dir/am_sockets.cpp.o"
+  "CMakeFiles/now_proto.dir/am_sockets.cpp.o.d"
+  "CMakeFiles/now_proto.dir/costs.cpp.o"
+  "CMakeFiles/now_proto.dir/costs.cpp.o.d"
+  "CMakeFiles/now_proto.dir/nic_mux.cpp.o"
+  "CMakeFiles/now_proto.dir/nic_mux.cpp.o.d"
+  "CMakeFiles/now_proto.dir/pvm.cpp.o"
+  "CMakeFiles/now_proto.dir/pvm.cpp.o.d"
+  "CMakeFiles/now_proto.dir/rpc.cpp.o"
+  "CMakeFiles/now_proto.dir/rpc.cpp.o.d"
+  "CMakeFiles/now_proto.dir/tcp.cpp.o"
+  "CMakeFiles/now_proto.dir/tcp.cpp.o.d"
+  "libnow_proto.a"
+  "libnow_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

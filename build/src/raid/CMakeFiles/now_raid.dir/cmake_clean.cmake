@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_raid.dir/raid.cpp.o"
+  "CMakeFiles/now_raid.dir/raid.cpp.o.d"
+  "CMakeFiles/now_raid.dir/stripe_groups.cpp.o"
+  "CMakeFiles/now_raid.dir/stripe_groups.cpp.o.d"
+  "libnow_raid.a"
+  "libnow_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

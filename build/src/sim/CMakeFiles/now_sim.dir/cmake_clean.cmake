@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_sim.dir/engine.cpp.o"
+  "CMakeFiles/now_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/now_sim.dir/log.cpp.o"
+  "CMakeFiles/now_sim.dir/log.cpp.o.d"
+  "CMakeFiles/now_sim.dir/random.cpp.o"
+  "CMakeFiles/now_sim.dir/random.cpp.o.d"
+  "CMakeFiles/now_sim.dir/stats.cpp.o"
+  "CMakeFiles/now_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/now_sim.dir/time.cpp.o"
+  "CMakeFiles/now_sim.dir/time.cpp.o.d"
+  "libnow_sim.a"
+  "libnow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

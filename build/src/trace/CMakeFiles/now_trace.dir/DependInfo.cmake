@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/fs_trace.cpp" "src/trace/CMakeFiles/now_trace.dir/fs_trace.cpp.o" "gcc" "src/trace/CMakeFiles/now_trace.dir/fs_trace.cpp.o.d"
+  "/root/repo/src/trace/nfs_trace.cpp" "src/trace/CMakeFiles/now_trace.dir/nfs_trace.cpp.o" "gcc" "src/trace/CMakeFiles/now_trace.dir/nfs_trace.cpp.o.d"
+  "/root/repo/src/trace/parallel_trace.cpp" "src/trace/CMakeFiles/now_trace.dir/parallel_trace.cpp.o" "gcc" "src/trace/CMakeFiles/now_trace.dir/parallel_trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/now_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/now_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/usage_trace.cpp" "src/trace/CMakeFiles/now_trace.dir/usage_trace.cpp.o" "gcc" "src/trace/CMakeFiles/now_trace.dir/usage_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

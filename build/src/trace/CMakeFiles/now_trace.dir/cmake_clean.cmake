@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_trace.dir/fs_trace.cpp.o"
+  "CMakeFiles/now_trace.dir/fs_trace.cpp.o.d"
+  "CMakeFiles/now_trace.dir/nfs_trace.cpp.o"
+  "CMakeFiles/now_trace.dir/nfs_trace.cpp.o.d"
+  "CMakeFiles/now_trace.dir/parallel_trace.cpp.o"
+  "CMakeFiles/now_trace.dir/parallel_trace.cpp.o.d"
+  "CMakeFiles/now_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/now_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/now_trace.dir/usage_trace.cpp.o"
+  "CMakeFiles/now_trace.dir/usage_trace.cpp.o.d"
+  "libnow_trace.a"
+  "libnow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

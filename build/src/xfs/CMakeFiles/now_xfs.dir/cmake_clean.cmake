@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_xfs.dir/central_server.cpp.o"
+  "CMakeFiles/now_xfs.dir/central_server.cpp.o.d"
+  "CMakeFiles/now_xfs.dir/log.cpp.o"
+  "CMakeFiles/now_xfs.dir/log.cpp.o.d"
+  "CMakeFiles/now_xfs.dir/xfs.cpp.o"
+  "CMakeFiles/now_xfs.dir/xfs.cpp.o.d"
+  "libnow_xfs.a"
+  "libnow_xfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_xfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopcache_test.dir/coopcache_test.cpp.o"
+  "CMakeFiles/coopcache_test.dir/coopcache_test.cpp.o.d"
+  "coopcache_test"
+  "coopcache_test.pdb"
+  "coopcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glunix_test.dir/glunix_test.cpp.o"
+  "CMakeFiles/glunix_test.dir/glunix_test.cpp.o.d"
+  "glunix_test"
+  "glunix_test.pdb"
+  "glunix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glunix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

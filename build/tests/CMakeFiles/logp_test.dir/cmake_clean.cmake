@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_test.dir/logp_test.cpp.o"
+  "CMakeFiles/logp_test.dir/logp_test.cpp.o.d"
+  "logp_test"
+  "logp_test.pdb"
+  "logp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netram_test.dir/netram_test.cpp.o"
+  "CMakeFiles/netram_test.dir/netram_test.cpp.o.d"
+  "netram_test"
+  "netram_test.pdb"
+  "netram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
