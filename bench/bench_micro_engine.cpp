@@ -49,6 +49,33 @@ void BM_EngineCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancelHeavy);
 
+// Retransmit-timer churn: a wheel of pending timers that keep getting pushed
+// out as (simulated) acks arrive, so they are rearmed many times and rarely
+// fire — the am.cpp / cpu.cpp slice-timer pattern.  Uses the in-place
+// reschedule() path; the seed engine had to cancel + re-schedule a fresh
+// closure for every push.
+void BM_EngineTimerWheelChurn(benchmark::State& state) {
+  constexpr int kTimers = 256;
+  constexpr int kPushes = 40;
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::vector<sim::EventId> timers(kTimers);
+    int fired = 0;
+    for (int t = 0; t < kTimers; ++t) {
+      timers[t] = eng.schedule_at(1'000 + t, [&fired] { ++fired; });
+    }
+    for (int round = 1; round <= kPushes; ++round) {
+      for (int t = 0; t < kTimers; ++t) {
+        timers[t] = eng.reschedule(timers[t], 1'000 + 10 * round + t);
+      }
+    }
+    benchmark::DoNotOptimize(eng.run());
+    if (fired != kTimers) state.SkipWithError("timer lost in churn");
+  }
+  state.SetItemsProcessed(state.iterations() * kTimers * kPushes);
+}
+BENCHMARK(BM_EngineTimerWheelChurn);
+
 void BM_Pcg32Stream(benchmark::State& state) {
   sim::Pcg32 rng(42);
   std::uint64_t acc = 0;

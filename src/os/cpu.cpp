@@ -254,11 +254,12 @@ void Cpu::trim_slice_to_quantum() {
     maybe_dispatch();
     return;
   }
-  engine_.cancel(slice_event_);
   slice_target_ = quantum_deadline_ - seg_start_;
   assert(slice_target_ > 0);
-  slice_event_ =
-      engine_.schedule_at(quantum_deadline_, [this] { on_slice_end(); });
+  // Same closure, earlier deadline: move the pending event in place instead
+  // of cancel + schedule churn.
+  slice_event_ = engine_.reschedule(slice_event_, quantum_deadline_);
+  assert(slice_event_ != 0);
 }
 
 void Cpu::preempt_current() {
@@ -358,15 +359,12 @@ void Cpu::steal(sim::Duration t) {
   assert(t >= 0);
   account_busy(t);
   if (current_ == kNoProcess || slice_event_ == 0) return;
-  // Delay the running process: shift its segment and its quantum.
-  Process& p = proc(current_);
-  engine_.cancel(slice_event_);
+  // Delay the running process: shift its segment and its quantum, pushing
+  // the pending slice-end event out in place (reschedule clamps to now).
   seg_start_ += t;
   quantum_deadline_ += t;
-  const sim::SimTime new_end = seg_start_ + slice_target_;
-  slice_event_ = engine_.schedule_at(std::max(new_end, engine_.now()),
-                                     [this] { on_slice_end(); });
-  (void)p;
+  slice_event_ = engine_.reschedule(slice_event_, seg_start_ + slice_target_);
+  assert(slice_event_ != 0);
 }
 
 void Cpu::reset() {

@@ -348,8 +348,16 @@ void AmLayer::on_ack(const WireAck& a) {
   if (advanced) {
     tx.timeouts = 0;
     if (tx.timer != 0) {
-      mux_.engine().cancel(tx.timer);
-      tx.timer = 0;
+      if (tx.unacked.empty()) {
+        mux_.engine().cancel(tx.timer);
+        tx.timer = 0;
+      } else {
+        // Frames still in flight: restart the retransmit clock by moving the
+        // pending timer in place — its closure already names this pair, so
+        // cancel + schedule would rebuild an identical event.
+        tx.timer = mux_.engine().reschedule_in(tx.timer, params_.retry_timeout);
+        assert(tx.timer != 0);
+      }
     }
     pump_window(a.dst_ep, a.src_ep, tx);
   }

@@ -1,0 +1,150 @@
+// A move-only, type-erased `void()` callable with small-buffer optimisation.
+//
+// `std::function<void()>` heap-allocates for any capture list larger than two
+// pointers, which makes it the dominant cost on the engine's schedule path.
+// `InlinedCallback` stores captures up to `kInlineSize` bytes directly inside
+// the object (one cache line together with the event-pool slot header) and
+// falls back to the heap only for oversized or throwing-move captures.
+//
+// Compared to `std::function` it drops everything the engine does not need:
+// no copy, no target_type(), no allocator support — just construct, move,
+// invoke, destroy.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace now::sim {
+
+class InlinedCallback {
+ public:
+  /// Captures up to this many bytes live inline; larger closures heap-allocate.
+  /// 48 bytes keeps the engine's pool slot (callback + generation + free-list
+  /// link) at exactly one 64-byte cache line while still fitting a
+  /// `std::function` (32 bytes on libstdc++) or a `this` pointer plus five
+  /// words of captures.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlinedCallback() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlinedCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlinedCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlinedCallback(InlinedCallback&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(o.buf_, buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlinedCallback& operator=(InlinedCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(o.buf_, buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlinedCallback(const InlinedCallback&) = delete;
+  InlinedCallback& operator=(const InlinedCallback&) = delete;
+
+  ~InlinedCallback() { reset(); }
+
+  /// Destroys the held callable (if any), leaving the object empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Constructs a callable in place in an *empty* InlinedCallback — the
+  /// zero-move path the engine uses to build closures directly inside pool
+  /// slots.  Precondition: !*this.
+  template <typename F, typename D = std::decay_t<F>>
+  void emplace(F&& fn) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Invokes the callable and destroys it, leaving the object empty — the
+  /// engine's dispatch path, fused into a single indirect call.
+  void invoke_and_reset() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buf_);
+  }
+
+  /// True if a callable of type `D` is stored inline (no heap allocation).
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  // One static dispatch table per erased type; a single pointer compare
+  // replaces std::function's vtable-per-operation indirection.
+  struct Ops {
+    void (*invoke)(void* self);
+    // Invoke, then destroy — one indirect call on the dispatch hot path.
+    void (*invoke_destroy)(void* self);
+    // Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*static_cast<D*>(self))(); },
+      [](void* self) {
+        D* d = static_cast<D*>(self);
+        (*d)();
+        d->~D();
+      },
+      [](void* src, void* dst) noexcept {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) noexcept { static_cast<D*>(self)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**static_cast<D**>(self))(); },
+      [](void* self) {
+        D* d = *static_cast<D**>(self);
+        (*d)();
+        delete d;
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* self) noexcept { delete *static_cast<D**>(self); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace now::sim

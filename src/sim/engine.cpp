@@ -1,78 +1,189 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace now::sim {
 
-EventId Engine::schedule_at(SimTime at, std::function<void()> fn,
-                            int priority) {
-  if (at < now_) at = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{at, priority, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+Engine::~Engine() {
+  // Live events still hold closures that need destroying; once drained (the
+  // common case) every slot's callback is already gone and the slab can be
+  // freed without touching its 64 bytes/slot.
+  if (live_count_ != 0) {
+    for (std::uint32_t idx = 0; idx < num_slots_; ++idx) slot(idx).fn.reset();
+  }
+  for (Slot* chunk : chunks_) {
+    BlockCache::deallocate(chunk, kChunkSize * sizeof(Slot));
+  }
+  BlockCache::deallocate(heap_, heap_cap_ * sizeof(HeapEntry));
 }
 
-EventId Engine::schedule_in(Duration delay, std::function<void()> fn,
-                            int priority) {
-  assert(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn), priority);
+void Engine::add_chunk() {
+  assert(num_slots_ + kChunkSize <= kMaxSlots &&
+         "event pool exhausted (2^24 concurrently pending events)");
+  auto* chunk =
+      static_cast<Slot*>(BlockCache::allocate(kChunkSize * sizeof(Slot)));
+  chunks_.push_back(chunk);
+  // One init pass: empty callback, dead tag, and a free-list chain that
+  // hands slots out in ascending index order, ending at the old list head.
+  const std::uint32_t base = num_slots_;
+  for (std::uint32_t i = 0; i < kChunkSize; ++i) {
+    ::new (static_cast<void*>(&chunk[i])) Slot;
+    chunk[i].next_free = base + i + 1;
+  }
+  chunk[kChunkSize - 1].next_free = free_head_;
+  free_head_ = base;
+  num_slots_ += kChunkSize;
 }
 
-bool Engine::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  ++cancelled_count_;
-  return true;
+// Finds the tier holding the next live event, promoting the future buffer
+// into a fresh sorted run when the current one drains.  Afterwards the run
+// head and heap top (when present) are both live, so the caller can compare
+// them directly.
+Engine::Source Engine::next_source() {
+  for (;;) {
+    while (run_pos_ < run_.size() && entry_stale(run_[run_pos_])) {
+      ++run_pos_;
+      --stale_count_;
+    }
+    if (run_pos_ == run_.size() && !future_.empty()) {
+      build_run();
+      continue;  // the new run may itself be empty after filtering
+    }
+    skim_stale();
+    const bool has_run = run_pos_ < run_.size();
+    if (!has_run && heap_size_ == 0) return Source::kNone;
+    if (has_run &&
+        (heap_size_ == 0 || entry_less(run_[run_pos_], heap_[0]))) {
+      return Source::kRun;
+    }
+    return Source::kHeap;
+  }
+}
+
+void Engine::dispatch_from(Source src) {
+  HeapEntry top;
+  if (src == Source::kRun) {
+    top = run_[run_pos_++];
+  } else {
+    top = heap_[0];
+    heap_pop();
+  }
+  const std::uint32_t idx = key_slot(top.key);
+  Slot& s = slot(idx);
+  now_ = top.time;
+  // Invalidate the id *before* invoking so a self-cancel from inside the
+  // callback is a stale no-op, but keep the slot off the free list until the
+  // callback returns — events it schedules must not reuse the slot that is
+  // currently executing.  Chunk addresses are stable, so the closure runs in
+  // place even if scheduling grows the slab.
+  s.seq = kDeadSeq;
+  --live_count_;
+  ++dispatched_;
+  s.fn.invoke_and_reset();
+  free_slot(s, idx);
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    const auto it = handlers_.find(ev.id);
-    if (it == handlers_.end()) {
-      // Cancelled event reached the head; drop its tombstone.
-      assert(cancelled_count_ > 0);
-      --cancelled_count_;
-      continue;
-    }
-    now_ = ev.time;
-    // Move the handler out before invoking: the callback may schedule or
-    // cancel other events, invalidating iterators.
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    ++dispatched_;
-    fn();
-    return true;
-  }
-  return false;
+  const Source src = next_source();
+  if (src == Source::kNone) return false;
+  dispatch_from(src);
+  return true;
 }
 
 std::uint64_t Engine::run() {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && step()) ++n;
+  while (!stopped_) {
+    const Source src = next_source();
+    if (src == Source::kNone) break;
+    dispatch_from(src);
+    ++n;
+  }
   return n;
 }
 
 std::uint64_t Engine::run_until(SimTime deadline) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past cancelled tombstones to find the next live event time.
-    while (!queue_.empty() && !handlers_.contains(queue_.top().id)) {
-      queue_.pop();
-      assert(cancelled_count_ > 0);
-      --cancelled_count_;
-    }
-    if (queue_.empty() || queue_.top().time > deadline) break;
-    if (step()) ++n;
+  while (!stopped_) {
+    const Source src = next_source();
+    if (src == Source::kNone) break;
+    const SimTime next =
+        src == Source::kRun ? run_[run_pos_].time : heap_[0].time;
+    if (next > deadline) break;
+    dispatch_from(src);
+    ++n;
   }
-  if (now_ < deadline) now_ = deadline;
+  // A completed run leaves the clock at the deadline; a stop()ped run leaves
+  // it at the last dispatched event so callers observe where they halted.
+  if (!stopped_ && now_ < deadline) now_ = deadline;
   return n;
+}
+
+// Filters cancelled entries out of the future buffer and sorts the survivors
+// into the next run.  Sorting PODs sequentially here is ~3x cheaper than
+// sifting each event through a large implicit heap, and the filter pass is
+// where cancelled-then-never-popped tombstones get shed in bulk.
+void Engine::build_run() {
+  run_.clear();
+  run_pos_ = 0;
+  // Track sortedness while filtering: schedules that arrive in ascending
+  // (time, key) order — timer ticks, pipelined transfers, most benchmarks —
+  // skip the sort entirely.
+  bool sorted = true;
+  for (const HeapEntry& e : future_) {
+    if (entry_stale(e)) {
+      --stale_count_;
+    } else {
+      if (sorted && !run_.empty() && entry_less(e, run_.back())) sorted = false;
+      run_.push_back(e);
+    }
+  }
+  future_.clear();
+  if (!sorted) std::sort(run_.begin(), run_.end(), entry_less);
+}
+
+void Engine::compact() {
+  // Shed stale entries from all three tiers.  The run keeps its sorted
+  // order (remove_if is stable); the heap is rebuilt with Floyd's heapify.
+  const auto stale = [this](const HeapEntry& e) { return entry_stale(e); };
+  run_.erase(std::remove_if(run_.begin() + static_cast<std::ptrdiff_t>(run_pos_),
+                            run_.end(), stale),
+             run_.end());
+  future_.erase(std::remove_if(future_.begin(), future_.end(), stale),
+                future_.end());
+
+  std::size_t live = 0;
+  for (std::size_t j = 0; j < heap_size_; ++j) {
+    const HeapEntry e = heap_[phys(j)];
+    if (!entry_stale(e)) heap_[phys(live++)] = e;
+  }
+  heap_size_ = live;
+  stale_count_ = 0;
+  if (live < 2) return;
+
+  // Floyd heapify: sift every internal node down, last parent first.
+  const std::size_t end = phys(live - 1) + 1;
+  for (std::size_t i = parent_of(end - 1);; --i) {
+    if (i == 0 || i >= 4) {  // physical cells 1..3 are padding
+      HeapEntry v = heap_[i];
+      std::size_t hole = i;
+      for (;;) {
+        const std::size_t first = first_child(hole);
+        if (first >= end) break;
+        std::size_t best = first;
+        const std::size_t stop = first + 4 < end ? first + 4 : end;
+        for (std::size_t c = first + 1; c < stop; ++c) {
+          if (entry_less(heap_[c], heap_[best])) best = c;
+        }
+        if (!entry_less(heap_[best], v)) break;
+        heap_[hole] = heap_[best];
+        hole = best;
+      }
+      heap_[hole] = v;
+    }
+    if (i == 0) break;
+  }
 }
 
 }  // namespace now::sim

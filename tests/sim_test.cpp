@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -145,6 +146,138 @@ TEST(Engine, DispatchedCounts) {
   for (int i = 0; i < 7; ++i) eng.schedule_at(i, [] {});
   eng.run();
   EXPECT_EQ(eng.dispatched(), 7u);
+}
+
+TEST(Engine, StaleCancelAfterSlotReuseIsNoOp) {
+  Engine eng;
+  int fired = 0;
+  // Cancel releases the pool slot; the next schedule reuses it under a fresh
+  // generation.  The stale id must not be able to kill the new occupant.
+  const EventId stale = eng.schedule_at(10, [&] { fired += 100; });
+  EXPECT_TRUE(eng.cancel(stale));
+  const EventId fresh = eng.schedule_at(10, [&] { ++fired; });
+  EXPECT_FALSE(eng.cancel(stale));  // generation mismatch: no-op
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(eng.cancel(fresh));  // already fired
+}
+
+TEST(Engine, StaleIdStaysStaleAcrossManyReuses) {
+  Engine eng;
+  const EventId stale = eng.schedule_at(1, [] {});
+  eng.cancel(stale);
+  int fired = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    eng.schedule_at(i, [&] { ++fired; });
+    EXPECT_FALSE(eng.cancel(stale));
+  }
+  eng.run();
+  EXPECT_EQ(fired, 1'000);
+}
+
+TEST(Engine, TieBreakOrderIsDeterministicAcrossRuns) {
+  // Two independent engines fed the same scrambled same-time schedule must
+  // dispatch in the identical order (time, then priority, then insertion).
+  const auto record = [] {
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i) {
+      const SimTime t = (i * 7) % 3;          // times 0..2, scrambled
+      const int prio = (i * 5) % 4 - 2;       // priorities -2..1, scrambled
+      eng.schedule_at(t, [&order, i] { order.push_back(i); }, prio);
+    }
+    eng.run();
+    return order;
+  };
+  const std::vector<int> first = record();
+  const std::vector<int> second = record();
+  ASSERT_EQ(first.size(), 64u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Engine, MillionEventStress) {
+  constexpr int kSeeds = 1'000;
+  constexpr int kChainLength = 1'000;  // 1M dispatches total
+  Engine eng;
+  std::uint64_t fired = 0;
+  // kSeeds self-rescheduling chains with interleaved deadlines, plus a
+  // cancelled twin per seed to exercise slot reuse under load.
+  std::function<void(int, int)> hop = [&](int chain, int depth) {
+    ++fired;
+    if (depth < kChainLength) {
+      eng.schedule_at(eng.now() + kSeeds, [&hop, chain, depth] {
+        hop(chain, depth + 1);
+      });
+    }
+  };
+  for (int c = 0; c < kSeeds; ++c) {
+    eng.schedule_at(c, [&hop, c] { hop(c, 1); });
+    eng.cancel(eng.schedule_at(c, [] {}));
+  }
+  eng.run();
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kSeeds) * kChainLength);
+  EXPECT_EQ(eng.dispatched(), fired);
+  // Chain c hops at times c, c + kSeeds, ..., c + (kChainLength-1)*kSeeds;
+  // the last event overall is chain kSeeds-1 at depth kChainLength.
+  EXPECT_EQ(eng.now(), (kSeeds - 1) + static_cast<SimTime>(kSeeds) *
+                                          (kChainLength - 1));
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, RescheduleMovesPendingEvent) {
+  Engine eng;
+  SimTime fired_at = -1;
+  EventId id = eng.schedule_at(10, [&] { fired_at = eng.now(); });
+  id = eng.reschedule(id, 50);
+  ASSERT_NE(id, 0u);
+  eng.run();
+  EXPECT_EQ(fired_at, 50);
+  EXPECT_EQ(eng.now(), 50);
+}
+
+TEST(Engine, RescheduleInvalidatesOldId) {
+  Engine eng;
+  int fired = 0;
+  const EventId old_id = eng.schedule_at(10, [&] { ++fired; });
+  const EventId new_id = eng.reschedule(old_id, 20);
+  ASSERT_NE(new_id, 0u);
+  EXPECT_FALSE(eng.cancel(old_id));  // superseded
+  EXPECT_TRUE(eng.cancel(new_id));
+  eng.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, RescheduleOfFiredOrCancelledEventFails) {
+  Engine eng;
+  const EventId fired_id = eng.schedule_at(1, [] {});
+  eng.run();
+  EXPECT_EQ(eng.reschedule(fired_id, 10), 0u);
+  const EventId cancelled = eng.schedule_at(5, [] {});
+  eng.cancel(cancelled);
+  EXPECT_EQ(eng.reschedule_in(cancelled, 10), 0u);
+}
+
+TEST(Engine, RescheduleCanPullAnEventEarlier) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(20, [&] { order.push_back(1); });
+  EventId id = eng.schedule_at(30, [&] { order.push_back(2); });
+  eng.schedule_at(5, [&, id] { eng.reschedule(id, 10); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(eng.now(), 20);
+}
+
+TEST(Engine, RunUntilLeavesClockAtLastEventWhenStopped) {
+  Engine eng;
+  eng.schedule_at(10, [&] { eng.stop(); });
+  eng.schedule_at(20, [] {});
+  const std::uint64_t n = eng.run_until(100);
+  EXPECT_EQ(n, 1u);
+  // A stopped run must not jump the clock forward to the deadline.
+  EXPECT_EQ(eng.now(), 10);
+  eng.run_until(100);
+  EXPECT_EQ(eng.now(), 100);
 }
 
 TEST(Time, ConversionRoundTrip) {
