@@ -3,11 +3,19 @@
 // Every bench prints the paper's reported numbers next to the reproduced
 // ones so the comparison is visible in the raw output (EXPERIMENTS.md
 // records the same pairs).
+// Passing `--json <path>` to a bench additionally writes the reproduced
+// numbers as a machine-readable report in the BENCH_engine.json shape
+// ({benchmark, units, machine, method, results, notes}) via JsonReport.
 #pragma once
 
+#include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace now::bench {
 
@@ -29,5 +37,146 @@ inline void row(const char* fmt, ...) {
 inline void note(const std::string& text) {
   std::printf("  note: %s\n", text.c_str());
 }
+
+namespace detail {
+inline void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+inline void append_json_number(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) < 9.0e15) {  // integral and exactly representable
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", std::isfinite(v) ? v : 0.0);
+    out += buf;
+  }
+}
+}  // namespace detail
+
+/// Machine-readable bench results, in the shape of BENCH_engine.json:
+/// {"benchmark", "units", "machine", "method", "results": {name: {field:
+/// value}}, "notes": [...]}.  Construct it from main's argv: it activates
+/// only when `--json <path>` was passed, and writes the file when write()
+/// is called (or at destruction).  Insertion order of results and fields
+/// is preserved, so output is deterministic for a deterministic bench.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string benchmark,
+             std::string units)
+      : benchmark_(std::move(benchmark)), units_(std::move(units)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+#if defined(__clang__)
+    machine_ = std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+    machine_ = std::string("g++ ") + __VERSION__;
+#endif
+  }
+  ~JsonReport() { write(); }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool active() const { return !path_.empty(); }
+  void machine(std::string m) { machine_ = std::move(m); }
+  void method(std::string m) { method_ = std::move(m); }
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+
+  /// Sets results[result][field] = v (fields merge into an existing
+  /// result row of the same name).
+  void value(const std::string& result, const std::string& field,
+             double v) {
+    for (auto& r : results_) {
+      if (r.name == result) {
+        r.fields.emplace_back(field, v);
+        return;
+      }
+    }
+    results_.push_back({result, {{field, v}}});
+  }
+
+  /// Writes the report if `--json` was given; true on success or when
+  /// inactive.  Idempotent: the destructor's write is a no-op after a
+  /// successful explicit call.
+  bool write() {
+    if (path_.empty() || written_) return true;
+    std::string out = "{\n";
+    const auto field = [&out](const char* key, const std::string& v,
+                              bool comma) {
+      out += "  \"";
+      out += key;
+      out += "\": \"";
+      detail::append_json_escaped(out, v);
+      out += comma ? "\",\n" : "\"\n";
+    };
+    field("benchmark", benchmark_, true);
+    field("units", units_, true);
+    field("machine", machine_, true);
+    field("method", method_, true);
+    out += "  \"results\": {";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      out += i ? ",\n    \"" : "\n    \"";
+      detail::append_json_escaped(out, results_[i].name);
+      out += "\": {";
+      const auto& fields = results_[i].fields;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        out += j ? ", \"" : "\"";
+        detail::append_json_escaped(out, fields[j].first);
+        out += "\": ";
+        detail::append_json_number(out, fields[j].second);
+      }
+      out += "}";
+    }
+    out += results_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      out += i ? ",\n    \"" : "\n    \"";
+      detail::append_json_escaped(out, notes_[i]);
+      out += "\"";
+    }
+    out += notes_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    std::ofstream f(path_, std::ios::trunc);
+    if (!f) return false;
+    f << out;
+    written_ = f.good();
+    return written_;
+  }
+
+ private:
+  struct Result {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  std::string path_;
+  std::string benchmark_;
+  std::string units_;
+  std::string machine_;
+  std::string method_;
+  std::vector<Result> results_;
+  std::vector<std::string> notes_;
+  bool written_ = false;
+};
 
 }  // namespace now::bench

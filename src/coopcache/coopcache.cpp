@@ -46,7 +46,13 @@ std::size_t coordinated_capacity(const CoopCacheConfig& cfg) {
 CoopCacheSim::CoopCacheSim(CoopCacheConfig config)
     : config_(config), rng_(config.seed, /*stream=*/0x636f6f70),
       server_cache_(config.server_cache_blocks),
-      coordinated_(coordinated_capacity(config)) {
+      coordinated_(coordinated_capacity(config)),
+      obs_reads_(&obs::metrics().counter("coopcache.reads")),
+      obs_local_hits_(&obs::metrics().counter("coopcache.local_hits")),
+      obs_remote_hits_(&obs::metrics().counter("coopcache.remote_hits")),
+      obs_server_hits_(&obs::metrics().counter("coopcache.server_mem_hits")),
+      obs_disk_reads_(&obs::metrics().counter("coopcache.disk_reads")),
+      obs_forwards_(&obs::metrics().counter("coopcache.singlet_forwards")) {
   assert(config_.clients > 0);
   client_caches_.reserve(config_.clients);
   for (std::uint32_t i = 0; i < config_.clients; ++i) {
@@ -144,6 +150,7 @@ void CoopCacheSim::handle_eviction(std::uint32_t client,
         break;  // circled enough; let it die
       }
       ++count;
+      obs_forwards_->inc();
       // Forward the singlet to a random other client.
       if (config_.clients < 2) break;
       std::uint32_t peer = rng_.next_below(config_.clients);
@@ -160,9 +167,11 @@ void CoopCacheSim::handle_eviction(std::uint32_t client,
 
 void CoopCacheSim::read(std::uint32_t client, std::uint64_t block) {
   ++results_.reads;
+  obs_reads_->inc();
 
   if (client_caches_[client].touch(block)) {
     ++results_.local_hits;
+    obs_local_hits_->inc();
     recirculations_.erase(block);
     return;
   }
@@ -173,6 +182,7 @@ void CoopCacheSim::read(std::uint32_t client, std::uint64_t block) {
     const std::int64_t holder = find_holder(block, client);
     if (holder >= 0) {
       ++results_.remote_client_hits;
+      obs_remote_hits_->inc();
       client_caches_[static_cast<std::uint32_t>(holder)].touch(block);
       recirculations_.erase(block);
       insert_local(client, block);
@@ -182,6 +192,7 @@ void CoopCacheSim::read(std::uint32_t client, std::uint64_t block) {
   if (config_.policy == Policy::kCentrallyCoordinated &&
       coordinated_.contains(block)) {
     ++results_.remote_client_hits;  // served from coordinated client DRAM
+    obs_remote_hits_->inc();
     coordinated_.erase(block);      // promoted into the reader's local cache
     insert_local(client, block);
     return;
@@ -189,11 +200,13 @@ void CoopCacheSim::read(std::uint32_t client, std::uint64_t block) {
 
   if (server_cache_.touch(block)) {
     ++results_.server_mem_hits;
+    obs_server_hits_->inc();
     insert_local(client, block);
     return;
   }
 
   ++results_.disk_reads;
+  obs_disk_reads_->inc();
   server_cache_.insert(block);
   insert_local(client, block);
 }

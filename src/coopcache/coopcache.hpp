@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "coopcache/lru.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -131,6 +132,12 @@ class CoopCacheSim {
   /// N-chance: times each at-large singlet has been forwarded.
   std::unordered_map<std::uint64_t, std::uint32_t> recirculations_;
   CoopCacheResults results_;
+  obs::Counter* obs_reads_;
+  obs::Counter* obs_local_hits_;
+  obs::Counter* obs_remote_hits_;
+  obs::Counter* obs_server_hits_;
+  obs::Counter* obs_disk_reads_;
+  obs::Counter* obs_forwards_;
 };
 
 }  // namespace now::coopcache

@@ -31,6 +31,8 @@ std::unique_ptr<net::Network> make_fabric(sim::Engine& engine, Fabric f,
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   assert(config_.workstations >= 2);
+  // Trace timestamps follow this cluster's simulated clock.
+  obs::tracer().set_clock(&engine_);
   network_ = make_fabric(engine_, config_.fabric, config_.seed);
   mux_ = std::make_unique<proto::NicMux>(*network_);
   am_ = std::make_unique<proto::AmLayer>(*mux_, config_.am, config_.seed);

@@ -23,6 +23,9 @@
 #include "glunix/glunix.hpp"
 #include "net/network.hpp"
 #include "netram/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "os/node.hpp"
 #include "proto/am.hpp"
 #include "proto/nic_mux.hpp"
@@ -93,6 +96,20 @@ class Cluster {
   xfs::LogStore& log() { return *log_; }
   /// Requires with_netram_registry.
   netram::IdleMemoryRegistry& memory_registry() { return *registry_; }
+
+  // --- Observability ---------------------------------------------------
+  /// The process-wide metrics registry every subsystem reports into.
+  obs::MetricsRegistry& metrics() { return obs::metrics(); }
+  /// Starts recording spans/instants into the trace ring buffer
+  /// (`capacity` events; oldest are overwritten when it fills).
+  void enable_tracing(std::size_t capacity = 1u << 20) {
+    obs::tracer().enable(capacity);
+  }
+  /// Writes everything recorded so far as Chrome trace-event JSON —
+  /// load the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+  bool trace_to(const std::string& path) {
+    return obs::tracer().export_chrome_json(path);
+  }
 
   /// Drives the simulation.
   void run() { engine_.run(); }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "sim/log.hpp"
+
 namespace now::glunix {
 
 namespace {
@@ -27,7 +29,17 @@ struct DoneNote {
 Glunix::Glunix(proto::RpcLayer& rpc, std::vector<os::Node*> nodes,
                GlunixParams params, std::size_t master_index)
     : rpc_(rpc), nodes_(std::move(nodes)), params_(params),
-      master_(master_index), cost_(params.migration) {
+      master_(master_index), cost_(params.migration),
+      obs_launched_(&obs::metrics().counter("glunix.launched")),
+      obs_completed_(&obs::metrics().counter("glunix.completed")),
+      obs_migrations_(&obs::metrics().counter("glunix.migrations")),
+      obs_crash_restarts_(&obs::metrics().counter("glunix.crash_restarts")),
+      obs_gangs_launched_(&obs::metrics().counter("glunix.gangs_launched")),
+      obs_gangs_completed_(
+          &obs::metrics().counter("glunix.gangs_completed")),
+      obs_gang_pauses_(&obs::metrics().counter("glunix.gang_pauses")),
+      obs_idle_nodes_(&obs::metrics().gauge("glunix.idle_nodes")),
+      obs_track_(obs::tracer().track("glunix")) {
   assert(!nodes_.empty() && master_ < nodes_.size());
   info_.resize(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) info_[i].node = nodes_[i];
@@ -59,8 +71,12 @@ void Glunix::start() {
           r.where = SIZE_MAX;
           if (++gang.done_ranks == gang.ranks.size()) {
             auto cb = std::move(gang.done);
+            const sim::SimTime submitted = gang.submitted_at;
             gangs_.erase(git);
             ++stats_.gangs_completed;
+            obs_gangs_completed_->inc();
+            obs::tracer().complete(from, obs_track_, "glunix.gang",
+                                   submitted, engine().now());
             if (cb) cb();
           }
           schedule_queue_scan();
@@ -72,6 +88,9 @@ void Glunix::start() {
         Guest g = std::move(it->second);
         guests_.erase(it);
         ++stats_.completed;
+        obs_completed_->inc();
+        obs::tracer().complete(from, obs_track_, "glunix.job",
+                               g.submitted_at, engine().now());
         for (NodeInfo& ni : info_) {
           if (ni.hosting == note.job) ni.hosting = 0;
         }
@@ -188,6 +207,9 @@ void Glunix::poll_tick() {
         },
         /*timeout=*/params_.poll_interval, [] {});
   }
+  if (obs::enabled()) {
+    obs_idle_nodes_->set(static_cast<double>(idle_node_count()));
+  }
   engine().schedule_in(params_.poll_interval, [this] {
     poll_tick();
     schedule_queue_scan();
@@ -202,6 +224,13 @@ void Glunix::declare_down(std::size_t idx) {
   if (ni.hosting != 0) {
     displace(idx, /*node_crashed=*/true);
   }
+  if (obs::enabled()) {
+    obs_idle_nodes_->set(static_cast<double>(idle_node_count()));
+  }
+  obs::tracer().instant(ni.node->id(), obs_track_, "node_down");
+  sim::LogStream(sim::LogLevel::kInfo, engine().now(), "glunix")
+      << "node " << ni.node->id() << " declared down ("
+      << params_.heartbeat_misses << " missed heartbeats)";
   if (on_down_) on_down_(ni.node->id());
 }
 
@@ -239,9 +268,11 @@ JobId Glunix::run_remote(sim::Duration work, std::uint64_t memory_bytes,
   g.remaining = work;
   g.checkpointed_remaining = work;
   g.memory_bytes = memory_bytes;
+  g.submitted_at = engine().now();
   g.done = std::move(done);
   guests_.emplace(id, std::move(g));
   ++stats_.launched;
+  obs_launched_->inc();
   place_guest(id);
   return id;
 }
@@ -316,6 +347,10 @@ void Glunix::evict(JobId id, bool node_crashed) {
     // Progress since the last checkpoint is gone.
     g.remaining = g.checkpointed_remaining;
     ++stats_.crash_restarts;
+    obs_crash_restarts_->inc();
+    if (g.where != net::kInvalidNode) {
+      obs::tracer().instant(g.where, obs_track_, "crash_restart");
+    }
   } else {
     if (!g.in_transit) {
       g.remaining -= engine().now() - g.seg_start;
@@ -326,6 +361,10 @@ void Glunix::evict(JobId id, bool node_crashed) {
                 [](std::any) {});
     }
     ++stats_.migrations;
+    obs_migrations_->inc();
+    if (g.where != net::kInvalidNode) {
+      obs::tracer().instant(g.where, obs_track_, "migrate");
+    }
   }
   g.where = net::kInvalidNode;
   g.pid = os::kNoProcess;
@@ -383,9 +422,11 @@ JobId Glunix::run_parallel(std::uint32_t width, sim::Duration work_per_rank,
   gang.ranks.resize(width);
   for (auto& r : gang.ranks) r.remaining = work_per_rank;
   gang.memory_bytes = memory_per_rank;
+  gang.submitted_at = engine().now();
   gang.done = std::move(done);
   gangs_.emplace(id, std::move(gang));
   ++stats_.gangs_launched;
+  obs_gangs_launched_->inc();
   try_start_gang(id);
   return id;
 }
@@ -461,6 +502,8 @@ void Glunix::gang_pause(JobId id) {
   Gang& gang = gangs_.at(id);
   if (gang.suspended_count++ > 0) return;  // already paused
   ++stats_.gang_pauses;
+  obs_gang_pauses_->inc();
+  obs::tracer().instant(master_node(), obs_track_, "gang_pause");
   gang_account(gang);
   for (auto& r : gang.ranks) {
     if (r.done || !r.running || r.where == SIZE_MAX ||
@@ -496,8 +539,15 @@ void Glunix::gang_displace(JobId id, std::size_t rank, bool crashed) {
     rpc_.call(master_node(), info_[r.where].node->id(), kGluKill, 32,
               r.pid, [](std::any) {});
     ++stats_.migrations;
+    obs_migrations_->inc();
+    obs::tracer().instant(info_[r.where].node->id(), obs_track_, "migrate");
   } else if (crashed) {
     ++stats_.crash_restarts;
+    obs_crash_restarts_->inc();
+    if (r.where != SIZE_MAX) {
+      obs::tracer().instant(info_[r.where].node->id(), obs_track_,
+                            "crash_restart");
+    }
   }
   r.where = SIZE_MAX;
   r.pid = os::kNoProcess;

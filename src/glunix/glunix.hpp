@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "glunix/migration.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/rpc.hpp"
 
 namespace now::glunix {
@@ -136,6 +138,7 @@ class Glunix {
     bool has_state = false;
     /// Bumped at every (re)launch; stale checkpoint timers check it.
     std::uint64_t epoch = 0;
+    sim::SimTime submitted_at = 0;
     DoneFn done;
   };
 
@@ -153,6 +156,7 @@ class Glunix {
     bool started = false;    // first placement happened
     std::uint32_t done_ranks = 0;
     std::uint32_t suspended_count = 0;  // outstanding whole-gang pauses
+    sim::SimTime submitted_at = 0;
     std::function<void()> done;
   };
 
@@ -192,6 +196,15 @@ class Glunix {
   NodeDownFn on_up_;
   GuestStats stats_;
   bool started_ = false;
+  obs::Counter* obs_launched_;
+  obs::Counter* obs_completed_;
+  obs::Counter* obs_migrations_;
+  obs::Counter* obs_crash_restarts_;
+  obs::Counter* obs_gangs_launched_;
+  obs::Counter* obs_gangs_completed_;
+  obs::Counter* obs_gang_pauses_;
+  obs::Gauge* obs_idle_nodes_;
+  obs::TrackId obs_track_;
 
   net::NodeId master_node() const { return nodes_[master_]->id(); }
   sim::Engine& engine() { return rpc_.engine(); }

@@ -54,11 +54,17 @@ void Network::deliver_now(Packet&& pkt) {
   if (p->rx_capacity != 0 &&
       p->rx_used + pkt.size_bytes > p->rx_capacity) {
     ++stats_.packets_dropped;
+    obs_dropped_->inc();
+    obs::tracer().instant(pkt.dst, obs_track_, "rx_drop");
     return;
   }
   if (p->rx_capacity != 0) p->rx_used += pkt.size_bytes;
   ++stats_.packets_delivered;
   stats_.wire_time_us.add(sim::to_us(engine_.now() - pkt.sent_at));
+  obs_delivered_->inc();
+  obs_wire_us_->observe(sim::to_us(engine_.now() - pkt.sent_at));
+  obs::tracer().complete(pkt.dst, obs_track_, "pkt", pkt.sent_at,
+                         engine_.now());
   p->handler(std::move(pkt));
 }
 

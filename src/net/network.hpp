@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "net/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 
@@ -32,7 +34,13 @@ struct NetworkStats {
 /// Base class for all fabric models.
 class Network {
  public:
-  explicit Network(sim::Engine& engine) : engine_(engine) {}
+  explicit Network(sim::Engine& engine)
+      : engine_(engine),
+        obs_sent_(&obs::metrics().counter("net.packets_sent")),
+        obs_delivered_(&obs::metrics().counter("net.packets_delivered")),
+        obs_dropped_(&obs::metrics().counter("net.packets_dropped")),
+        obs_wire_us_(&obs::metrics().summary("net.wire_time_us")),
+        obs_track_(obs::tracer().track("net")) {}
   virtual ~Network() = default;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -76,6 +84,13 @@ class Network {
 
   sim::Engine& engine_;
   NetworkStats stats_;
+  // Cached obs handles (resolved once here; hot-path updates are one
+  // dereference plus the global enable branch).
+  obs::Counter* obs_sent_;
+  obs::Counter* obs_delivered_;
+  obs::Counter* obs_dropped_;
+  obs::Summary* obs_wire_us_;
+  obs::TrackId obs_track_;
 
  private:
   std::vector<Port> ports_;

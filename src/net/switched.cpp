@@ -15,6 +15,15 @@ SwitchedNetwork::LinkState& SwitchedNetwork::downlink(NodeId n) {
   return downlinks_[n];
 }
 
+obs::Gauge& SwitchedNetwork::downlink_queue_gauge(NodeId n) {
+  if (n >= obs_downlink_q_.size()) obs_downlink_q_.resize(n + 1, nullptr);
+  if (obs_downlink_q_[n] == nullptr) {
+    obs_downlink_q_[n] = &obs::metrics().gauge(
+        "net.link" + std::to_string(n) + ".queue_us");
+  }
+  return *obs_downlink_q_[n];
+}
+
 sim::Duration SwitchedNetwork::unloaded_transit(std::uint32_t bytes) const {
   const sim::Duration ser = params_.serialization(bytes);
   return (params_.cut_through ? ser : 2 * ser) + params_.latency;
@@ -50,6 +59,13 @@ void SwitchedNetwork::send(Packet pkt) {
     down_done = down_start + ser;
   }
   down.busy_until = down_done;
+  obs_sent_->inc();
+  if (obs::enabled()) {
+    // Backlog on the destination link: how far its busy horizon extends
+    // beyond now (0 when uncontended).
+    downlink_queue_gauge(pkt.dst).set(
+        sim::to_us(down_done - engine_.now() - ser));
+  }
 
   engine_.schedule_at(down_done,
                       [this, p = std::move(pkt)]() mutable {

@@ -33,10 +33,14 @@ class SwitchedNetwork final : public Network {
 
   LinkState& uplink(NodeId n);
   LinkState& downlink(NodeId n);
+  obs::Gauge& downlink_queue_gauge(NodeId n);
 
   FabricParams params_;
   std::vector<LinkState> uplinks_;
   std::vector<LinkState> downlinks_;
+  // Per-downlink queue-depth gauges ("net.link<N>.queue_us"), the Figure 4
+  // receive-contention signal, cached on first use.
+  std::vector<obs::Gauge*> obs_downlink_q_;
 };
 
 }  // namespace now::net

@@ -54,7 +54,14 @@ NetworkRamPager::NetworkRamPager(os::Node& client, std::uint32_t page_bytes,
     : client_(client), page_bytes_(page_bytes), registry_(registry),
       rpc_(rpc), readahead_(readahead),
       readahead_window_(readahead_window),
-      disk_fallback_(client, page_bytes) {
+      disk_fallback_(client, page_bytes),
+      obs_remote_reads_(&obs::metrics().counter("netram.remote_reads")),
+      obs_remote_writes_(&obs::metrics().counter("netram.remote_writes")),
+      obs_disk_fallbacks_(&obs::metrics().counter("netram.disk_fallbacks")),
+      obs_prefetch_hits_(&obs::metrics().counter("netram.prefetch_hits")),
+      obs_rehomed_(&obs::metrics().counter("netram.rehomed_pages")),
+      obs_lost_(&obs::metrics().counter("netram.lost_pages")),
+      obs_track_(obs::tracer().track("netram")) {
   registry_.add_observer([this](net::NodeId id, bool graceful) {
     on_donor_gone(id, graceful);
   });
@@ -93,15 +100,22 @@ void NetworkRamPager::page_out(std::uint64_t page,
 void NetworkRamPager::store_remote(std::uint64_t page, net::NodeId donor,
                                    std::function<void()> done) {
   ++stats_.remote_writes;
+  obs_remote_writes_->inc();
   (void)page;
+  const sim::SimTime t0 = client_.engine().now();
   rpc_.call(client_.id(), donor, kNetRamWrite, page_bytes_ + 64,
             std::uint32_t{page_bytes_},
-            [done = std::move(done)](std::any) { done(); });
+            [this, t0, done = std::move(done)](std::any) {
+              obs::tracer().complete(client_.id(), obs_track_, "remote_write",
+                                     t0, client_.engine().now());
+              done();
+            });
 }
 
 void NetworkRamPager::store_disk(std::uint64_t page,
                                  std::function<void()> done) {
   ++stats_.disk_fallback_writes;
+  obs_disk_fallbacks_->inc();
   disk_fallback_.page_out(page, std::move(done));
 }
 
@@ -111,6 +125,7 @@ void NetworkRamPager::page_in(std::uint64_t page,
   if (prefetched_.erase(page) > 0) {
     // Readahead already streamed it in; only the local copy remains.
     ++stats_.prefetch_hits;
+    obs_prefetch_hits_->inc();
     client_.engine().schedule_in(client_.copy_cost(page_bytes_),
                                  std::move(done));
     return;
@@ -124,13 +139,20 @@ void NetworkRamPager::page_in(std::uint64_t page,
   }
   if (it->second.on_disk) {
     ++stats_.disk_fallback_reads;
+    obs_disk_fallbacks_->inc();
     disk_fallback_.page_in(page, std::move(done));
     return;
   }
   ++stats_.remote_reads;
+  obs_remote_reads_->inc();
+  const sim::SimTime t0 = client_.engine().now();
   rpc_.call(client_.id(), it->second.donor, kNetRamRead, 64,
             std::uint32_t{page_bytes_},
-            [done = std::move(done)](std::any) { done(); });
+            [this, t0, done = std::move(done)](std::any) {
+              obs::tracer().complete(client_.id(), obs_track_, "remote_read",
+                                     t0, client_.engine().now());
+              done();
+            });
 }
 
 void NetworkRamPager::maybe_prefetch(std::uint64_t page) {
@@ -154,12 +176,15 @@ void NetworkRamPager::maybe_prefetch(std::uint64_t page) {
 }
 
 void NetworkRamPager::on_donor_gone(net::NodeId id, bool graceful) {
+  obs::tracer().instant(client_.id(), obs_track_,
+                        graceful ? "donor_revoked" : "donor_crashed");
   for (auto& [page, loc] : where_) {
     if (loc.on_disk || loc.donor != id) continue;
     if (graceful) {
       // Re-home: fetch from the departing donor and push to a new one (or
       // disk).  Costs one read plus one write.
       ++stats_.rehomed_pages;
+      obs_rehomed_->inc();
       const net::NodeId fresh = registry_.acquire(page_bytes_, client_.id());
       const std::uint64_t p = page;
       auto finish = [this, p, fresh] {
@@ -178,6 +203,7 @@ void NetworkRamPager::on_donor_gone(net::NodeId id, bool graceful) {
     } else {
       // Crash: contents gone; the page reads as zero-fill next time.
       ++stats_.lost_pages;
+      obs_lost_->inc();
       loc = Location{};
       // Erasing while iterating is awkward; mark instead.
     }

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "netram/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "os/disk.hpp"
 #include "os/node.hpp"
 #include "os/vm.hpp"
@@ -115,6 +117,13 @@ class NetworkRamPager final : public os::Pager {
   std::size_t readahead_window_;
   std::unordered_set<std::uint64_t> prefetch_inflight_;
   NetRamStats stats_;
+  obs::Counter* obs_remote_reads_;
+  obs::Counter* obs_remote_writes_;
+  obs::Counter* obs_disk_fallbacks_;
+  obs::Counter* obs_prefetch_hits_;
+  obs::Counter* obs_rehomed_;
+  obs::Counter* obs_lost_;
+  obs::TrackId obs_track_;
 };
 
 }  // namespace now::netram

@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace now::obs {
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+template <typename T>
+T& MetricsRegistry::get(std::string_view path) {
+  auto it = instruments_.find(path);
+  if (it == instruments_.end()) {
+    it = instruments_.emplace(std::string(path), Instrument(T{})).first;
+    return std::get<T>(it->second);
+  }
+  T* existing = std::get_if<T>(&it->second);
+  assert(existing != nullptr && "instrument re-registered with another kind");
+  if (existing != nullptr) return *existing;
+  // Release-build fallback: park the mismatched caller on a suffixed path so
+  // neither party corrupts the other's instrument.
+  return get<T>(std::string(path) + ".kind_conflict");
+}
+
+Counter& MetricsRegistry::counter(std::string_view path) {
+  return get<Counter>(path);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view path) {
+  return get<Gauge>(path);
+}
+
+Summary& MetricsRegistry::summary(std::string_view path) {
+  return get<Summary>(path);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view path, double lo,
+                                      double growth) {
+  auto it = instruments_.find(path);
+  if (it == instruments_.end()) {
+    it = instruments_.emplace(std::string(path), Instrument(Histogram(lo, growth)))
+             .first;
+  }
+  Histogram* existing = std::get_if<Histogram>(&it->second);
+  assert(existing != nullptr && "instrument re-registered with another kind");
+  if (existing != nullptr) return *existing;
+  return histogram(std::string(path) + ".kind_conflict", lo, growth);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view path) const {
+  const auto it = instruments_.find(path);
+  return it == instruments_.end() ? nullptr : std::get_if<Counter>(&it->second);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view path) const {
+  const auto it = instruments_.find(path);
+  return it == instruments_.end() ? nullptr : std::get_if<Gauge>(&it->second);
+}
+
+const Summary* MetricsRegistry::find_summary(std::string_view path) const {
+  const auto it = instruments_.find(path);
+  return it == instruments_.end() ? nullptr : std::get_if<Summary>(&it->second);
+}
+
+bool MetricsRegistry::read(std::string_view path, double* out) const {
+  const auto it = instruments_.find(path);
+  if (it == instruments_.end()) return false;
+  struct Reader {
+    double operator()(const Counter& c) const {
+      return static_cast<double>(c.value());
+    }
+    double operator()(const Gauge& g) const { return g.value(); }
+    double operator()(const Summary& s) const { return s.value().mean(); }
+    double operator()(const Histogram& h) const { return h.value().mean(); }
+  };
+  *out = std::visit(Reader{}, it->second);
+  return true;
+}
+
+namespace {
+
+/// Shortest round-trippable rendering, identical across platforms for
+/// identical doubles — what keeps two-run dump diffs empty.
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_summary_json(std::string& out, const sim::Summary& s) {
+  out += "{\"count\": ";
+  out += std::to_string(s.count());
+  out += ", \"mean\": ";
+  append_number(out, s.mean());
+  out += ", \"min\": ";
+  append_number(out, s.min());
+  out += ", \"max\": ";
+  append_number(out, s.max());
+  out += ", \"stddev\": ";
+  append_number(out, s.stddev());
+  out += "}";
+}
+
+struct JsonValue {
+  std::string& out;
+  void operator()(const Counter& c) const { out += std::to_string(c.value()); }
+  void operator()(const Gauge& g) const { append_number(out, g.value()); }
+  void operator()(const Summary& s) const {
+    append_summary_json(out, s.value());
+  }
+  void operator()(const Histogram& h) const {
+    out += "{\"count\": ";
+    out += std::to_string(h.value().count());
+    out += ", \"mean\": ";
+    append_number(out, h.value().mean());
+    out += ", \"p50\": ";
+    append_number(out, h.value().percentile(0.50));
+    out += ", \"p95\": ";
+    append_number(out, h.value().percentile(0.95));
+    out += ", \"p99\": ";
+    append_number(out, h.value().percentile(0.99));
+    out += ", \"max\": ";
+    append_number(out, h.value().max());
+    out += "}";
+  }
+};
+
+}  // namespace
+
+std::string MetricsRegistry::dump_json() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [path, inst] : instruments_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"";
+    out += path;  // paths are registered from code literals; no escaping
+    out += "\": ";
+    std::visit(JsonValue{out}, inst);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::dump_json(std::ostream& os) const { os << dump_json(); }
+
+bool MetricsRegistry::dump_json_to(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << dump_json();
+  return static_cast<bool>(f);
+}
+
+void MetricsRegistry::dump_text(std::ostream& os) const {
+  struct Text {
+    std::ostream& os;
+    void operator()(const Counter& c) const { os << c.value(); }
+    void operator()(const Gauge& g) const { os << g.value(); }
+    void operator()(const Summary& s) const {
+      os << "count=" << s.value().count() << " mean=" << s.value().mean()
+         << " min=" << s.value().min() << " max=" << s.value().max();
+    }
+    void operator()(const Histogram& h) const {
+      os << "count=" << h.value().count() << " mean=" << h.value().mean()
+         << " p50=" << h.value().percentile(0.5)
+         << " p99=" << h.value().percentile(0.99);
+    }
+  };
+  for (const auto& [path, inst] : instruments_) {
+    os << "  " << path << " = ";
+    std::visit(Text{os}, inst);
+    os << "\n";
+  }
+}
+
+}  // namespace now::obs

@@ -1,0 +1,146 @@
+// now::obs — cluster-wide observability: the metrics registry.
+//
+// Every subsystem registers instruments under dotted paths
+// ("net.drops", "xfs.manager.takeovers", "am.msg_latency_us") and caches the
+// returned handle, so the hot path is one pointer dereference plus a branch
+// on the global enable flag — no string lookups after construction.  The
+// registry itself is process-wide (obs::metrics()): modules deep inside the
+// stack instrument themselves without threading a registry pointer through
+// every constructor, and the Cluster facade simply re-exports it.
+//
+// Determinism contract: instruments are only ever updated from simulated
+// events, dumps iterate in sorted path order, and no wall-clock value is
+// recorded anywhere — two runs with the same seed produce byte-identical
+// dumps.  Disabling observability (set_enabled(false), or compiling with
+// -DNOW_OBS_DISABLED) reduces every update to a dead branch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "sim/stats.hpp"
+
+namespace now::obs {
+
+namespace detail {
+/// Single process-wide kill switch shared by every instrument update and
+/// trace emission.
+inline bool g_enabled = true;
+}  // namespace detail
+
+/// True when instrumentation should record.  Compiled to `false` (and the
+/// guarded updates to nothing) under -DNOW_OBS_DISABLED.
+inline bool enabled() {
+#ifdef NOW_OBS_DISABLED
+  return false;
+#else
+  return detail::g_enabled;
+#endif
+}
+
+inline void set_enabled(bool on) { detail::g_enabled = on; }
+
+/// Monotonic event count ("packets dropped", "segments cleaned").
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) {
+    if (enabled()) v_ += by;
+  }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Instantaneous level ("run-queue length", "log utilization").
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) v_ = v;
+  }
+  void add(double d) {
+    if (enabled()) v_ += d;
+  }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Streaming distribution without percentile queries (min/mean/max/stddev).
+class Summary {
+ public:
+  void observe(double x) {
+    if (enabled()) s_.add(x);
+  }
+  const sim::Summary& value() const { return s_; }
+
+ private:
+  sim::Summary s_;
+};
+
+/// Log-binned distribution with percentile queries.
+class Histogram {
+ public:
+  explicit Histogram(double lo = 1.0, double growth = 1.05) : h_(lo, growth) {}
+  void observe(double x) {
+    if (enabled()) h_.add(x);
+  }
+  const sim::Histogram& value() const { return h_; }
+
+ private:
+  sim::Histogram h_;
+};
+
+/// Hierarchical instrument registry keyed by dotted paths.
+///
+/// counter()/gauge()/summary()/histogram() create on first use and return a
+/// stable reference (node-based storage: handles never move); asking for an
+/// existing path with a different kind aborts in debug builds and returns a
+/// freshly suffixed instrument in release ones.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view path);
+  Gauge& gauge(std::string_view path);
+  Summary& summary(std::string_view path);
+  Histogram& histogram(std::string_view path, double lo = 1.0,
+                       double growth = 1.05);
+
+  const Counter* find_counter(std::string_view path) const;
+  const Gauge* find_gauge(std::string_view path) const;
+  const Summary* find_summary(std::string_view path) const;
+
+  /// Scalar reading of any instrument: counter value, gauge value, or the
+  /// mean of a summary/histogram.  False if `path` is not registered.
+  bool read(std::string_view path, double* out) const;
+
+  /// All registered paths, sorted (the registry's native order).
+  std::size_t size() const { return instruments_.size(); }
+
+  /// Deterministic dumps: sorted key order, no wall-clock anything.
+  void dump_json(std::ostream& os) const;
+  void dump_text(std::ostream& os) const;
+  std::string dump_json() const;
+  bool dump_json_to(const std::string& path) const;
+
+  /// Drops every instrument.  Outstanding handles dangle; only call between
+  /// experiments, before the next round of constructors re-register.
+  void reset() { instruments_.clear(); }
+
+ private:
+  using Instrument = std::variant<Counter, Gauge, Summary, Histogram>;
+
+  template <typename T>
+  T& get(std::string_view path);
+
+  std::map<std::string, Instrument, std::less<>> instruments_;
+};
+
+/// The process-wide default registry.
+MetricsRegistry& metrics();
+
+}  // namespace now::obs

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -171,6 +172,10 @@ class Cpu {
   bool in_continuation_ = false;
   sim::Duration busy_ = 0;
   std::vector<std::function<void(ProcessId)>> dispatch_observers_;
+  // Cached obs handles (see src/obs/metrics.hpp).
+  obs::Counter* obs_dispatches_;
+  obs::Counter* obs_preempts_;
+  obs::Summary* obs_runq_;
 };
 
 }  // namespace now::os

@@ -10,6 +10,8 @@
 #include <deque>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -42,7 +44,12 @@ class Disk {
   using Done = std::function<void()>;
 
   Disk(sim::Engine& engine, DiskParams params)
-      : engine_(engine), params_(params) {}
+      : engine_(engine), params_(params),
+        obs_reads_(&obs::metrics().counter("os.disk.reads")),
+        obs_writes_(&obs::metrics().counter("os.disk.writes")),
+        obs_service_us_(&obs::metrics().summary("os.disk.service_us")),
+        obs_queue_(&obs::metrics().gauge("os.disk.queue_depth")),
+        obs_track_(obs::tracer().track("os")) {}
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
@@ -94,6 +101,11 @@ class Disk {
   std::uint64_t writes_ = 0;
   sim::Summary service_us_;
   sim::Summary response_us_;
+  obs::Counter* obs_reads_;
+  obs::Counter* obs_writes_;
+  obs::Summary* obs_service_us_;
+  obs::Gauge* obs_queue_;
+  obs::TrackId obs_track_;
 };
 
 }  // namespace now::os

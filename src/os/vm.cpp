@@ -7,7 +7,11 @@ namespace now::os {
 AddressSpace::AddressSpace(sim::Engine& engine, std::uint32_t frames,
                            std::uint32_t page_bytes, Pager& pager)
     : engine_(engine), frames_(frames), page_bytes_(page_bytes),
-      pager_(pager) {
+      pager_(pager),
+      obs_faults_(&obs::metrics().counter("os.vm.faults")),
+      obs_evictions_(&obs::metrics().counter("os.vm.evictions")),
+      obs_writebacks_(&obs::metrics().counter("os.vm.writebacks")),
+      obs_track_(obs::tracer().track("os")) {
   assert(frames > 0 && page_bytes > 0);
 }
 
@@ -60,12 +64,14 @@ void AddressSpace::evict_one(std::function<void()> then) {
   const bool dirty = it->second.dirty;
   table_.erase(it);
   ++stats_.evictions;
+  obs_evictions_->inc();
   if (dirty) {
     // Asynchronous writeback, as a real page daemon's write buffer would
     // do: the faulting process does not wait for the victim to land, but
     // the writeback still occupies the backing store (so a thrashing swap
     // disk serves the write before the next read — queueing is preserved).
     ++stats_.writebacks;
+    obs_writebacks_->inc();
     pager_.page_out(victim, [] {});
   }
   then();
@@ -80,6 +86,16 @@ void AddressSpace::fault(std::uint64_t page, bool write,
   it->second.push_back(std::move(done));
   if (!fresh) return;  // fetch already in progress; piggyback
   ++stats_.faults;
+  obs_faults_->inc();
+  if (obs::tracer().enabled()) {
+    // Fault service span: fault instant to the page landing in memory.
+    const sim::SimTime t0 = engine_.now();
+    it->second.back() = [this, t0, cb = std::move(it->second.back())] {
+      obs::tracer().complete(obs::kClusterNode, obs_track_, "page_fault", t0,
+                             engine_.now());
+      cb();
+    };
+  }
 
   auto fetch = [this, page, write] {
     pager_.page_in(page, [this, page, write] { finish_fetch(page, write); });

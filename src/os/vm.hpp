@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "os/cpu.hpp"
 #include "sim/engine.hpp"
 
@@ -101,6 +103,10 @@ class AddressSpace {
       inflight_;
   std::uint32_t frames_reserved_ = 0;  // frames held by in-flight fetches
   VmStats stats_;
+  obs::Counter* obs_faults_;
+  obs::Counter* obs_evictions_;
+  obs::Counter* obs_writebacks_;
+  obs::TrackId obs_track_;
 };
 
 }  // namespace now::os

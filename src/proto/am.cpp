@@ -6,7 +6,14 @@
 namespace now::proto {
 
 AmLayer::AmLayer(NicMux& mux, AmParams params, std::uint64_t seed)
-    : mux_(mux), params_(params), rng_(seed, /*stream=*/0x616d6c) {
+    : mux_(mux), params_(params), rng_(seed, /*stream=*/0x616d6c),
+      obs_sent_(&obs::metrics().counter("am.sent")),
+      obs_retransmits_(&obs::metrics().counter("am.retransmits")),
+      obs_handled_(&obs::metrics().counter("am.handled")),
+      obs_stalls_(&obs::metrics().counter("am.credit_stalls")),
+      obs_epoch_bumps_(&obs::metrics().counter("am.epoch_bumps")),
+      obs_latency_us_(&obs::metrics().summary("am.msg_latency_us")),
+      obs_track_(obs::tracer().track("proto")) {
   assert(params_.window > 0 && params_.mtu_bytes > 0);
   tag_ = mux_.register_layer(
       [this](net::Packet&& pkt) { on_packet(std::move(pkt)); });
@@ -76,6 +83,8 @@ void AmLayer::send_from_process(os::ProcessId pid, EndpointId src,
     return;
   }
   ++stats_.stalled_sends;
+  obs_stalls_->inc();
+  obs::tracer().instant(ep(src).node->id(), obs_track_, "credit_stall");
   // Spin-poll until the window opens.  The process stays runnable — and
   // therefore keeps draining its own endpoint — which is both what real
   // user-level AM senders do and what prevents window-credit deadlock
@@ -134,6 +143,7 @@ void AmLayer::pump_window(EndpointId src, EndpointId dst, PairTx& tx) {
     f.seq = tx.next_seq++;
     transmit(src, dst, f);
     ++stats_.sent;
+    obs_sent_->inc();
     if (f.on_injected) {
       auto cb = std::move(f.on_injected);
       f.on_injected = nullptr;
@@ -186,6 +196,8 @@ void AmLayer::on_timeout(EndpointId src, EndpointId dst) {
   }
   if (++tx.timeouts > params_.max_retries) {
     ++stats_.pair_failures;
+    obs_epoch_bumps_->inc();
+    obs::tracer().instant(ep(src).node->id(), obs_track_, "epoch_bump");
     tx.failed = true;
     tx.unacked.clear();
     tx.pending.clear();
@@ -200,9 +212,11 @@ void AmLayer::on_timeout(EndpointId src, EndpointId dst) {
     return;
   }
   // Go-back-N: retransmit everything outstanding.
+  obs::tracer().instant(ep(src).node->id(), obs_track_, "go_back_n");
   for (const Fragment& f : tx.unacked) {
     transmit(src, dst, f);
     ++stats_.retransmits;
+    obs_retransmits_->inc();
   }
   arm_timer(src, dst, tx);
 }
@@ -306,6 +320,12 @@ void AmLayer::handle_now(Endpoint& e, EndpointId dst_ep, WireData&& d) {
           ++stats_.handled;
           stats_.msg_latency_us.add(
               sim::to_us(mux_.engine().now() - injected_at));
+          obs_handled_->inc();
+          obs_latency_us_->observe(
+              sim::to_us(mux_.engine().now() - injected_at));
+          // Full message lifetime, injection to handler start.
+          obs::tracer().complete(node->id(), obs_track_, "am.msg", injected_at,
+                                 mux_.engine().now());
           Endpoint& e2 = ep(dst_ep);
           const auto it = e2.handlers.find(h);
           assert(it != e2.handlers.end() && "no handler registered");

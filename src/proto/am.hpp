@@ -30,6 +30,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/costs.hpp"
 #include "proto/nic_mux.hpp"
 #include "sim/random.hpp"
@@ -233,6 +235,14 @@ class AmLayer {
   std::vector<bool> observer_installed_;  // per node
   AmStats stats_;
   FailureHandler on_failure_;
+  // Cached obs handles; see src/obs/metrics.hpp for the pattern.
+  obs::Counter* obs_sent_;
+  obs::Counter* obs_retransmits_;
+  obs::Counter* obs_handled_;
+  obs::Counter* obs_stalls_;
+  obs::Counter* obs_epoch_bumps_;
+  obs::Summary* obs_latency_us_;
+  obs::TrackId obs_track_;
 };
 
 }  // namespace now::proto

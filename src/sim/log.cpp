@@ -1,11 +1,22 @@
 #include "sim/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 
 namespace now::sim {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+std::map<std::string, LogLevel, std::less<>>& module_levels() {
+  static std::map<std::string, LogLevel, std::less<>> m;
+  return m;
+}
+LogSink& sink() {
+  static LogSink s;
+  return s;
+}
+bool g_env_parsed = false;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -18,15 +29,111 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+bool parse_level(std::string_view s, LogLevel* out) {
+  if (s == "trace") *out = LogLevel::kTrace;
+  else if (s == "debug") *out = LogLevel::kDebug;
+  else if (s == "info") *out = LogLevel::kInfo;
+  else if (s == "warn" || s == "warning") *out = LogLevel::kWarn;
+  else if (s == "error") *out = LogLevel::kError;
+  else if (s == "off" || s == "none") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void ensure_env_parsed() {
+  if (g_env_parsed) return;
+  g_env_parsed = true;
+  const char* env = std::getenv("NOW_LOG");
+  if (env == nullptr) return;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    LogLevel lvl;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      if (parse_level(item, &lvl)) g_level = lvl;
+      else std::fprintf(stderr, "NOW_LOG: unknown level '%.*s'\n",
+                        static_cast<int>(item.size()), item.data());
+    } else {
+      const std::string_view component = trim(item.substr(0, eq));
+      if (parse_level(trim(item.substr(eq + 1)), &lvl)) {
+        module_levels()[std::string(component)] = lvl;
+      } else {
+        std::fprintf(stderr, "NOW_LOG: bad entry '%.*s'\n",
+                     static_cast<int>(item.size()), item.data());
+      }
+    }
+  }
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void init_log_from_env() {
+  g_env_parsed = false;
+  ensure_env_parsed();
+}
+
+void set_log_level(LogLevel level) {
+  ensure_env_parsed();  // an explicit call wins over the environment
+  g_level = level;
+}
+
+LogLevel log_level() {
+  ensure_env_parsed();
+  return g_level;
+}
+
+void set_module_log_level(const std::string& component, LogLevel level) {
+  ensure_env_parsed();
+  module_levels()[component] = level;
+}
+
+void clear_module_log_levels() { module_levels().clear(); }
+
+LogLevel log_threshold(std::string_view component) {
+  ensure_env_parsed();
+  const auto& m = module_levels();
+  const auto it = m.find(component);
+  return it == m.end() ? g_level : it->second;
+}
+
+bool log_enabled(LogLevel level, std::string_view component) {
+  return level >= log_threshold(component);
+}
+
+void set_log_sink(LogSink s) { sink() = std::move(s); }
+
+std::string format_log_line(LogLevel level, SimTime at,
+                            const std::string& component,
+                            const std::string& message) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%12.3fms] %-5s ", to_ms(at),
+                level_name(level));
+  return std::string(buf) + component + ": " + message;
+}
 
 void log_line(LogLevel level, SimTime at, const std::string& component,
               const std::string& message) {
-  std::fprintf(stderr, "[%12.3fms] %-5s %s: %s\n", to_ms(at),
-               level_name(level), component.c_str(), message.c_str());
+  if (const LogSink& s = sink()) {
+    s(level, at, component, message);
+    return;
+  }
+  std::fprintf(stderr, "%s\n",
+               format_log_line(level, at, component, message).c_str());
 }
 
 }  // namespace now::sim

@@ -1,11 +1,24 @@
 // Minimal structured logging stamped with simulated time.
 //
 // Logging defaults to Warn so experiments stay quiet; tests and examples can
-// lower the threshold to trace protocol behaviour.
+// lower the threshold to trace protocol behaviour.  Two ways in:
+//
+//  * Runtime filter: the NOW_LOG environment variable, parsed before the
+//    first line is considered.  Grammar: a comma-separated list of either a
+//    bare level (the global threshold) or component=level overrides, e.g.
+//        NOW_LOG=debug
+//        NOW_LOG=warn,net=trace,xfs=debug
+//    Levels: trace, debug, info, warn, error, off.
+//  * Pluggable sink: every emitted line goes through one process-wide sink
+//    (default: stderr).  now::obs installs a sink that mirrors lines into
+//    the trace buffer as instant events (obs::mirror_logs_to_trace), which
+//    is how log output lands on the Perfetto timeline next to the spans.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "sim/time.hpp"
 
@@ -17,7 +30,34 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line: "[  12.345ms] component: message" to stderr.
+/// Per-component threshold override (takes precedence over the global one).
+void set_module_log_level(const std::string& component, LogLevel level);
+void clear_module_log_levels();
+
+/// Effective threshold for `component`: its override, else the global level.
+LogLevel log_threshold(std::string_view component);
+bool log_enabled(LogLevel level, std::string_view component);
+
+/// Re-reads NOW_LOG.  Called automatically (once) before the first filter
+/// query; call explicitly after changing the environment mid-process.
+void init_log_from_env();
+
+/// Receives every line that passes the filter.
+using LogSink = std::function<void(LogLevel, SimTime at,
+                                   const std::string& component,
+                                   const std::string& message)>;
+
+/// Installs `sink` as the process-wide destination; a null sink restores the
+/// default stderr printer.
+void set_log_sink(LogSink sink);
+
+/// Formats one line "[  12.345ms] LEVEL component: message" (what the
+/// default sink prints and custom sinks may reuse).
+std::string format_log_line(LogLevel level, SimTime at,
+                            const std::string& component,
+                            const std::string& message);
+
+/// Emits one line through the installed sink.  Does not re-check the filter.
 void log_line(LogLevel level, SimTime at, const std::string& component,
               const std::string& message);
 
@@ -25,13 +65,14 @@ void log_line(LogLevel level, SimTime at, const std::string& component,
 class LogStream {
  public:
   LogStream(LogLevel level, SimTime at, std::string component)
-      : level_(level), at_(at), component_(std::move(component)) {}
+      : level_(level), at_(at), component_(std::move(component)),
+        enabled_(log_enabled(level_, component_)) {}
   ~LogStream() {
-    if (level_ >= log_level()) log_line(level_, at_, component_, os_.str());
+    if (enabled_) log_line(level_, at_, component_, os_.str());
   }
   template <typename T>
   LogStream& operator<<(const T& v) {
-    if (level_ >= log_level()) os_ << v;
+    if (enabled_) os_ << v;
     return *this;
   }
 
@@ -39,6 +80,7 @@ class LogStream {
   LogLevel level_;
   SimTime at_;
   std::string component_;
+  bool enabled_;
   std::ostringstream os_;
 };
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "raid/raid.hpp"
 #include "xfs/tape.hpp"
 
@@ -101,6 +102,8 @@ class LogStore {
 
   SegmentId allocate_segment();
   void kill_old_copy(BlockId b);
+  /// Refreshes the "xfs.log.utilization" gauge (live / allocated blocks).
+  void update_util_gauge();
   std::uint64_t segment_offset(SegmentId s) const {
     return static_cast<std::uint64_t>(s) * segment_blocks_ * block_bytes_;
   }
@@ -112,6 +115,10 @@ class LogStore {
   std::unordered_map<BlockId, Location> imap_;
   TapeArchive* tape_ = nullptr;
   LogStats stats_;
+  obs::Counter* obs_segments_written_;
+  obs::Counter* obs_segments_cleaned_;
+  obs::Counter* obs_blocks_read_;
+  obs::Gauge* obs_util_;
 };
 
 }  // namespace now::xfs

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "sim/log.hpp"
+
 namespace now::xfs {
 
 namespace {
@@ -47,7 +49,18 @@ struct ReportEntry {
 
 Xfs::Xfs(proto::RpcLayer& rpc, LogStore& log, std::vector<os::Node*> nodes,
          XfsParams params)
-    : rpc_(rpc), log_(log), nodes_(std::move(nodes)), params_(params) {
+    : rpc_(rpc), log_(log), nodes_(std::move(nodes)), params_(params),
+      obs_reads_(&obs::metrics().counter("xfs.reads")),
+      obs_writes_(&obs::metrics().counter("xfs.writes")),
+      obs_peer_fetches_(&obs::metrics().counter("xfs.peer_fetches")),
+      obs_invalidations_(&obs::metrics().counter("xfs.invalidations")),
+      obs_transfers_(&obs::metrics().counter("xfs.ownership_transfers")),
+      obs_retries_(&obs::metrics().counter("xfs.op_retries")),
+      obs_flushes_(&obs::metrics().counter("xfs.segments_flushed")),
+      obs_takeovers_(&obs::metrics().counter("xfs.manager.takeovers")),
+      obs_read_us_(&obs::metrics().summary("xfs.read_latency_us")),
+      obs_write_us_(&obs::metrics().summary("xfs.write_latency_us")),
+      obs_track_(obs::tracer().track("xfs")) {
   assert(nodes_.size() >= 2);
   for (os::Node* n : nodes_) {
     ring_.push_back(n->id());
@@ -339,12 +352,14 @@ void Xfs::manager_write(net::NodeId self, BlockId b, net::NodeId requester,
   };
   for (const net::NodeId peer : to_invalidate) {
     ++stats_.invalidations;
+    obs_invalidations_->inc();
     rpc_.call(self, peer, kInvalidate, 32, b,
               [finish](std::any) mutable { finish(); },
               params_.op_timeout, [finish]() mutable { finish(); });
   }
   if (prev_owner != net::kInvalidNode) {
     ++stats_.ownership_transfers;
+    obs_transfers_->inc();
     rpc_.call(self, prev_owner, kRevoke, 32, b,
               [finish, had_data](std::any) mutable {
                 *had_data = true;
@@ -356,10 +371,14 @@ void Xfs::manager_write(net::NodeId self, BlockId b, net::NodeId requester,
 
 void Xfs::read(net::NodeId client, BlockId b, Done done) {
   ++stats_.reads;
+  obs_reads_->inc();
   const sim::SimTime t0 = engine().now();
   do_read(client, b,
-          [this, t0, done = std::move(done)]() mutable {
+          [this, client, t0, done = std::move(done)]() mutable {
             stats_.read_latency_us.add(sim::to_us(engine().now() - t0));
+            obs_read_us_->observe(sim::to_us(engine().now() - t0));
+            obs::tracer().complete(client, obs_track_, "xfs.read", t0,
+                                   engine().now());
             done();
           },
           0);
@@ -373,6 +392,7 @@ void Xfs::finish_read(net::NodeId c, BlockId b, Done done) {
 void Xfs::retry_op(net::NodeId c, BlockId b, bool is_write, Done done,
                    std::uint32_t attempts) {
   ++stats_.op_retries;
+  obs_retries_->inc();
   engine().schedule_in(params_.retry_backoff,
                        [this, c, b, is_write, done = std::move(done),
                         attempts]() mutable {
@@ -429,6 +449,7 @@ void Xfs::do_read(net::NodeId c, BlockId b, Done done,
                 [this, c, b, done, attempts](std::any fr) mutable {
                   if (std::any_cast<FetchReply>(fr).found) {
                     ++stats_.peer_fetches;
+                    obs_peer_fetches_->inc();
                     finish_read(c, b, std::move(done));
                   } else {
                     // Peer dropped it in the meantime: ask again.
@@ -450,10 +471,14 @@ void Xfs::do_read(net::NodeId c, BlockId b, Done done,
 
 void Xfs::write(net::NodeId client, BlockId b, Done done) {
   ++stats_.writes;
+  obs_writes_->inc();
   const sim::SimTime t0 = engine().now();
   do_write(client, b,
-           [this, t0, done = std::move(done)]() mutable {
+           [this, client, t0, done = std::move(done)]() mutable {
              stats_.write_latency_us.add(sim::to_us(engine().now() - t0));
+             obs_write_us_->observe(sim::to_us(engine().now() - t0));
+             obs::tracer().complete(client, obs_track_, "xfs.write", t0,
+                                    engine().now());
              done();
            },
            0);
@@ -541,9 +566,13 @@ void Xfs::flush_segment(net::NodeId c, Done done) {
   cs.staged.erase(cs.staged.begin(),
                   cs.staged.begin() + static_cast<std::ptrdiff_t>(take));
 
-  log_.append_segment(c, batch, [this, c, batch,
+  const sim::SimTime flush_t0 = engine().now();
+  log_.append_segment(c, batch, [this, c, batch, flush_t0,
                                  done = std::move(done)]() mutable {
     ++stats_.segments_flushed;
+    obs_flushes_->inc();
+    obs::tracer().complete(c, obs_track_, "xfs.flush_segment", flush_t0,
+                           engine().now());
     ClientState& state = cstate(c);
     // Group the notifications per manager.
     std::unordered_map<net::NodeId, std::vector<BlockId>> per_mgr;
@@ -585,7 +614,15 @@ void Xfs::sync(net::NodeId client, Done done) {
 
 void Xfs::clean(net::NodeId driver,
                 std::function<void(std::uint32_t)> done) {
-  log_.clean(driver, params_.clean_threshold, std::move(done));
+  const sim::SimTime t0 = engine().now();
+  log_.clean(driver, params_.clean_threshold,
+             [this, driver, t0, done = std::move(done)](std::uint32_t n) {
+               if (n > 0) {
+                 obs::tracer().complete(driver, obs_track_, "xfs.clean", t0,
+                                        engine().now());
+               }
+               done(n);
+             });
 }
 
 void Xfs::client_crashed(net::NodeId client) {
@@ -617,6 +654,10 @@ void Xfs::client_crashed(net::NodeId client) {
 void Xfs::manager_takeover(net::NodeId failed, net::NodeId successor,
                            Done done) {
   ++stats_.manager_takeovers;
+  obs_takeovers_->inc();
+  obs::tracer().instant(successor, obs_track_, "manager_takeover");
+  sim::LogStream(sim::LogLevel::kInfo, engine().now(), "xfs")
+      << "manager takeover: node " << failed << " -> node " << successor;
   for (net::NodeId& m : ring_) {
     if (m == failed) m = successor;
   }

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "coopcache/lru.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/rpc.hpp"
 #include "sim/stats.hpp"
 #include "xfs/log.hpp"
@@ -175,6 +177,17 @@ class Xfs {
   std::unordered_set<net::NodeId> recovering_;  // managers mid-takeover
   XfsStats stats_;
   bool started_ = false;
+  obs::Counter* obs_reads_;
+  obs::Counter* obs_writes_;
+  obs::Counter* obs_peer_fetches_;
+  obs::Counter* obs_invalidations_;
+  obs::Counter* obs_transfers_;
+  obs::Counter* obs_retries_;
+  obs::Counter* obs_flushes_;
+  obs::Counter* obs_takeovers_;
+  obs::Summary* obs_read_us_;
+  obs::Summary* obs_write_us_;
+  obs::TrackId obs_track_;
 
   sim::Engine& engine() { return rpc_.engine(); }
   os::Node* node(net::NodeId id) const;

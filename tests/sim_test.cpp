@@ -1,11 +1,15 @@
-// Unit tests for the discrete-event engine, RNG, and statistics.
+// Unit tests for the discrete-event engine, RNG, statistics, and the
+// structured log's NOW_LOG filter + pluggable sink.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -427,6 +431,118 @@ TEST(Histogram, EmptyIsZero) {
   Histogram h;
   EXPECT_EQ(h.percentile(0.5), 0.0);
   EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, ExtremeQuantilesBracketMinAndMax) {
+  Histogram h(1.0, 1.05);
+  for (double x : {2.0, 5.0, 20.0, 80.0, 300.0}) h.add(x);
+  // q=0 is the smallest sample's bin upper bound; q=1 the largest's.
+  EXPECT_GE(h.percentile(0.0), 2.0);
+  EXPECT_LE(h.percentile(0.0), 2.0 * 1.05);
+  EXPECT_GE(h.percentile(1.0), 300.0);
+  EXPECT_LE(h.percentile(1.0), 300.0 * 1.05);
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, UnderflowBinResolvesToLo) {
+  Histogram h(10.0, 1.05);
+  for (int i = 0; i < 9; ++i) h.add(0.5);  // all below lo
+  h.add(1000.0);
+  EXPECT_EQ(h.count(), 10u);
+  // 90 % of the mass is in the underflow bin: low quantiles report `lo`.
+  EXPECT_EQ(h.percentile(0.0), 10.0);
+  EXPECT_EQ(h.percentile(0.5), 10.0);
+  EXPECT_GE(h.percentile(1.0), 1000.0);
+  // The summary still sees the exact values.
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(Summary, MergeVarianceIsExact) {
+  // Small integer samples so the expected moments are exact by hand:
+  // {1,2,3} merged with {10,14} = {1,2,3,10,14}.
+  Summary a, b, all;
+  for (double x : {1.0, 2.0, 3.0}) { a.add(x); all.add(x); }
+  for (double x : {10.0, 14.0}) { b.add(x); all.add(x); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 30.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 14.0);
+  // Sample variance of {1,2,3,10,14} is 130/4 = 32.5, and the pairwise
+  // merge must reproduce it to rounding, not just approximately.
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_NEAR(a.variance(), 32.5, 1e-12);
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary empty1, empty2;
+  empty1.merge(empty2);
+  EXPECT_EQ(empty1.count(), 0u);
+  EXPECT_EQ(empty1.mean(), 0.0);
+
+  Summary s;
+  s.add(3.0);
+  s.add(5.0);
+  Summary lhs_empty;
+  lhs_empty.merge(s);  // empty.merge(nonempty) adopts the other side
+  EXPECT_EQ(lhs_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs_empty.mean(), 4.0);
+
+  Summary rhs_empty;
+  s.merge(rhs_empty);  // nonempty.merge(empty) is a no-op
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+}
+
+TEST(Log, EnvFilterSetsGlobalAndPerComponentLevels) {
+  setenv("NOW_LOG", "warn, net=trace, xfs=debug", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_threshold("am"), LogLevel::kWarn);     // global fallback
+  EXPECT_EQ(log_threshold("net"), LogLevel::kTrace);   // override
+  EXPECT_EQ(log_threshold("xfs"), LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kTrace, "net"));
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug, "xfs"));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace, "xfs"));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo, "am"));
+
+  setenv("NOW_LOG", "off", 1);
+  init_log_from_env();
+  clear_module_log_levels();
+  EXPECT_FALSE(log_enabled(LogLevel::kError, "anything"));
+
+  unsetenv("NOW_LOG");
+  set_log_level(LogLevel::kWarn);  // restore the default for other tests
+}
+
+TEST(Log, SinkReceivesOnlyLinesPassingTheFilter) {
+  std::vector<std::string> got;
+  set_log_sink([&got](LogLevel, SimTime at, const std::string& component,
+                      const std::string& message) {
+    got.push_back(component + "@" + std::to_string(at) + ": " + message);
+  });
+  set_log_level(LogLevel::kInfo);
+  LogStream(LogLevel::kInfo, 1'500'000, "xfs") << "takeover -> node " << 8;
+  LogStream(LogLevel::kDebug, 2'000'000, "xfs") << "below threshold";
+  set_log_sink(nullptr);  // restore the stderr printer
+  set_log_level(LogLevel::kWarn);
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "xfs@1500000: takeover -> node 8");
+}
+
+TEST(Log, FormatLineCarriesSimTimeLevelAndComponent) {
+  const std::string line =
+      format_log_line(LogLevel::kInfo, 12'345'000, "glunix", "node 3 down");
+  EXPECT_NE(line.find("12.345"), std::string::npos);  // ms from ns
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  EXPECT_NE(line.find("glunix: node 3 down"), std::string::npos);
 }
 
 }  // namespace
