@@ -3,7 +3,12 @@
 // xFS storage daemons generate, the elevator (SCAN/LOOK) discipline
 // meaningfully beats FIFO — one of the knobs a NOW storage node has that a
 // dumb hardware RAID box does not.
+//
+// The queue depths are independent sweep points (--jobs N).  FIFO and
+// SCAN within a point replay the identical request stream (same derived
+// seed), keeping the comparison controlled.
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -22,13 +27,13 @@ struct Result {
   double completion_s;
 };
 
-Result run(os::DiskSched sched, int depth) {
+Result run(os::DiskSched sched, int depth, std::uint64_t seed) {
   sim::Engine eng;
   os::DiskParams p;
   p.scheduler = sched;
   p.distance_seek = true;
   os::Disk disk(eng, p);
-  sim::Pcg32 rng(41);
+  sim::Pcg32 rng(seed);
   // A closed workload: `depth` outstanding random 8 KB reads, each
   // completion immediately issuing a new one, 400 total.
   int issued = 0, completed = 0;
@@ -51,21 +56,39 @@ Result run(os::DiskSched sched, int depth) {
                 sim::to_sec(eng.now())};
 }
 
+struct Point {
+  Result fifo;
+  Result scan;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   now::bench::heading(
       "Ablation - disk scheduling (FIFO vs elevator) under queue depth",
       "storage-node design choice; 400 random 8 KB reads, closed workload");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_ablation_disk_sched");
 
   now::bench::row("%-8s %18s %18s %14s %14s", "depth", "FIFO mean (ms)",
                   "SCAN mean (ms)", "FIFO done (s)", "SCAN done (s)");
-  for (const int depth : {1, 4, 8, 16, 32}) {
-    const Result fifo = run(os::DiskSched::kFifo, depth);
-    const Result scan = run(os::DiskSched::kElevator, depth);
-    now::bench::row("%-8d %18.1f %18.1f %14.2f %14.2f", depth,
-                    fifo.mean_response_ms, scan.mean_response_ms,
-                    fifo.completion_s, scan.completion_s);
+  const std::vector<int> depths{1, 4, 8, 16, 32};
+  std::vector<std::string> names;
+  for (const int depth : depths) {
+    names.push_back("depth_" + std::to_string(depth));
+  }
+  const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
+    const int depth = depths[ctx.task_index];
+    Point p;
+    p.fifo = run(os::DiskSched::kFifo, depth, ctx.seed);
+    p.scan = run(os::DiskSched::kElevator, depth, ctx.seed);
+    return p;
+  });
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    now::bench::row("%-8d %18.1f %18.1f %14.2f %14.2f", depths[i],
+                    points[i].fifo.mean_response_ms,
+                    points[i].scan.mean_response_ms,
+                    points[i].fifo.completion_s,
+                    points[i].scan.completion_s);
   }
   now::bench::row("");
   now::bench::row("expected shape: identical at depth 1; the elevator's "

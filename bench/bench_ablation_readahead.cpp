@@ -2,7 +2,12 @@
 // pattern of Figure 2) telegraph their next fault; prefetching the
 // successor page overlaps fetch latency with compute and closes most of
 // the gap to all-in-DRAM.
+//
+// The problem sizes are independent sweep points (--jobs N); each point
+// runs its DRAM / netRAM / netRAM+readahead trio serially inside the
+// point (the simulation itself is deterministic — no RNG involved).
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -59,25 +64,43 @@ double run(std::uint64_t problem_mb, bool readahead, bool dram_baseline,
   return sim::to_sec(elapsed);
 }
 
+struct Point {
+  double dram = 0;
+  double plain = 0;
+  double ra = 0;
+  std::uint64_t hits = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   now::bench::heading(
       "Ablation - network-RAM readahead on the multigrid sweep",
       "extension of Figure 2: prefetching the successor page");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_ablation_readahead");
 
   now::bench::row("%-14s %12s %14s %16s %14s", "problem (MB)", "DRAM (s)",
                   "netRAM (s)", "netRAM+RA (s)", "RA overhead");
-  for (const std::uint64_t mb : {64ull, 96ull, 128ull}) {
-    const double dram = run(mb, false, true);
-    const double plain = run(mb, false, false);
-    std::uint64_t hits = 0;
-    const double ra = run(mb, true, false, &hits);
+  const std::vector<std::uint64_t> sizes{64, 96, 128};
+  std::vector<std::string> names;
+  for (const std::uint64_t mb : sizes) {
+    names.push_back("problem_mb_" + std::to_string(mb));
+  }
+  const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
+    const std::uint64_t mb = sizes[ctx.task_index];
+    Point p;
+    p.dram = run(mb, false, true);
+    p.plain = run(mb, false, false);
+    p.ra = run(mb, true, false, &p.hits);
+    return p;
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Point& p = points[i];
     now::bench::row("%-14llu %12.1f %14.1f %16.1f %13.0f%%  "
                     "(%llu prefetch hits)",
-                    static_cast<unsigned long long>(mb), dram, plain, ra,
-                    100.0 * (ra / dram - 1.0),
-                    static_cast<unsigned long long>(hits));
+                    static_cast<unsigned long long>(sizes[i]), p.dram,
+                    p.plain, p.ra, 100.0 * (p.ra / p.dram - 1.0),
+                    static_cast<unsigned long long>(p.hits));
   }
   now::bench::row("");
   now::bench::row("expected shape: plain netRAM pays the full remote fetch "

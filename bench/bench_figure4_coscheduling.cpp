@@ -1,9 +1,17 @@
 // Figure 4: slowdown of four parallel programs under local scheduling,
 // referenced to coscheduling, as the number of competing jobs grows.
+//
+// Each (program, competing-jobs) cell is an independent pair of
+// simulations — local and coscheduled — so the 16 cells run as a parallel
+// sweep (--jobs N) with byte-identical output to the serial run.  Every
+// cell constructs all of its randomness (node quantum jitter, filler
+// phases) from its own derived seed.
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exp/seed.hpp"
 #include "glunix/coschedule.hpp"
 #include "glunix/spmd.hpp"
 #include "net/presets.hpp"
@@ -19,7 +27,7 @@ using namespace now::sim::literals;
 constexpr int kNodes = 8;
 
 struct Rig {
-  Rig() {
+  explicit Rig(std::uint64_t seed) {
     network = std::make_unique<net::SwitchedNetwork>(engine,
                                                      net::cm5_fabric());
     mux = std::make_unique<proto::NicMux>(*network);
@@ -30,7 +38,7 @@ struct Rig {
     for (int i = 0; i < kNodes; ++i) {
       os::NodeParams p;
       p.cpu.quantum_jitter = 0.25;  // real nodes' schedules drift
-      p.cpu.seed = static_cast<std::uint64_t>(i) + 1;
+      p.cpu.seed = exp::derive_seed(seed, static_cast<std::uint64_t>(i));
       nodes.push_back(std::make_unique<os::Node>(
           engine, static_cast<net::NodeId>(i), p));
       mux->attach_node(*nodes.back());
@@ -59,17 +67,22 @@ glunix::SpmdParams app_params(glunix::CommPattern pattern) {
   return p;
 }
 
-double run_once(glunix::CommPattern pattern, int competing,
-                bool coscheduled) {
-  Rig rig;
+// Both halves of a cell (local, coscheduled) rebuild the identical rig
+// from the same cell seed: the comparison stays controlled, and the cell
+// is a pure function of its seed.
+double run_once(glunix::CommPattern pattern, int competing, bool coscheduled,
+                std::uint64_t seed) {
+  Rig rig(seed);
   sim::Duration app_time = 0;
-  glunix::SpmdApp app(*rig.am, rig.ptrs(), app_params(pattern),
+  glunix::SpmdParams ap = app_params(pattern);
+  ap.seed = exp::derive_seed(seed, 99);
+  glunix::SpmdApp app(*rig.am, rig.ptrs(), ap,
                       [&](sim::Duration d) { app_time = d; });
   std::vector<std::unique_ptr<glunix::SpmdApp>> fillers;
   for (int j = 0; j < competing; ++j) {
     auto cp = app_params(glunix::CommPattern::kComputeOnly);
     cp.iterations = 1'000'000;  // competitors outlive the measured app
-    cp.seed = 100 + j;
+    cp.seed = exp::derive_seed(seed, 100 + static_cast<std::uint64_t>(j));
     fillers.push_back(std::make_unique<glunix::SpmdApp>(
         *rig.am, rig.ptrs(), cp, nullptr));
   }
@@ -86,26 +99,46 @@ double run_once(glunix::CommPattern pattern, int competing,
   return app.finished() ? sim::to_sec(app_time) : -1.0;
 }
 
+struct Cell {
+  double local = 0;
+  double cosched = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   now::bench::heading(
       "Figure 4 - local scheduling vs coscheduling, by competing jobs",
       "'A Case for NOW', Figure 4 (slowdown referenced to coscheduling; "
       "CM-5-class nodes, user-level polling Active Messages)");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_figure4_coscheduling");
 
   now::bench::row("%-14s %8s %12s %12s %10s", "program", "jobs",
                   "local (s)", "cosched (s)", "slowdown");
-  for (const auto pattern :
-       {glunix::CommPattern::kRandomSmall, glunix::CommPattern::kColumn,
-        glunix::CommPattern::kEm3d, glunix::CommPattern::kConnect}) {
+  const std::vector<glunix::CommPattern> patterns{
+      glunix::CommPattern::kRandomSmall, glunix::CommPattern::kColumn,
+      glunix::CommPattern::kEm3d, glunix::CommPattern::kConnect};
+  std::vector<std::string> names;
+  for (const auto pattern : patterns) {
     for (int competing = 0; competing <= 3; ++competing) {
-      const double local = run_once(pattern, competing, false);
-      const double cosched = run_once(pattern, competing, true);
-      now::bench::row("%-14s %8d %12.2f %12.2f %9.2fx",
-                      glunix::pattern_name(pattern), competing, local,
-                      cosched, local / cosched);
+      names.push_back(std::string(glunix::pattern_name(pattern)) + "_jobs" +
+                      std::to_string(competing));
     }
+  }
+  const auto cells = sweep.run(names, [&](now::exp::RunContext& ctx) {
+    const auto pattern = patterns[ctx.task_index / 4];
+    const int competing = static_cast<int>(ctx.task_index % 4);
+    Cell c;
+    c.local = run_once(pattern, competing, false, ctx.seed);
+    c.cosched = run_once(pattern, competing, true, ctx.seed);
+    return c;
+  });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    now::bench::row("%-14s %8d %12.2f %12.2f %9.2fx",
+                    glunix::pattern_name(patterns[i / 4]),
+                    static_cast<int>(i % 4), cells[i].local,
+                    cells[i].cosched, cells[i].local / cells[i].cosched);
   }
   now::bench::row("");
   now::bench::row("paper's Figure 4 reading:");

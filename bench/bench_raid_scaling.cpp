@@ -1,8 +1,13 @@
 // Software RAID over workstation disks: aggregate bandwidth scales with
 // the member count; parity survives failures; any node can drive the
 // array.  ("Redundant arrays of workstation disks" section.)
+//
+// The member-count sweep points are independent simulations and run in
+// parallel (--jobs N); the availability demo at the end is a single
+// serial scenario.
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -86,27 +91,44 @@ double sequential_mbps(int members, raid::Level level, bool write) {
   return static_cast<double>(total) / (1 << 20) / sim::to_sec(done_at);
 }
 
+struct ScalePoint {
+  double raid0_read = 0;
+  double raid0_write = 0;
+  double raid5_write = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   now::bench::heading(
       "Software RAID over workstation disks - bandwidth scaling + "
       "availability",
       "'A Case for NOW', 'Redundant arrays of workstation disks'");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_raid_scaling");
 
   now::bench::row("single workstation disk media rate: 4.0 MB/s; ATM link "
                   "~19.4 MB/s");
   now::bench::row("");
   now::bench::row("%-10s %16s %16s %16s", "members", "RAID-0 read",
                   "RAID-0 write", "RAID-5 write");
-  for (const int m : {2, 4, 8, 12}) {
-    const double r0r = sequential_mbps(m, raid::Level::kRaid0, false);
-    const double r0w = sequential_mbps(m, raid::Level::kRaid0, true);
-    const double r5w = m >= 3
-                           ? sequential_mbps(m, raid::Level::kRaid5, true)
-                           : 0.0;
-    now::bench::row("%-10d %13.1f MB/s %13.1f MB/s %13.1f MB/s", m, r0r,
-                    r0w, r5w);
+  const std::vector<int> member_counts{2, 4, 8, 12};
+  std::vector<std::string> names;
+  for (const int m : member_counts) {
+    names.push_back("members_" + std::to_string(m));
+  }
+  const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
+    const int m = member_counts[ctx.task_index];
+    ScalePoint p;
+    p.raid0_read = sequential_mbps(m, raid::Level::kRaid0, false);
+    p.raid0_write = sequential_mbps(m, raid::Level::kRaid0, true);
+    p.raid5_write =
+        m >= 3 ? sequential_mbps(m, raid::Level::kRaid5, true) : 0.0;
+    return p;
+  });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    now::bench::row("%-10d %13.1f MB/s %13.1f MB/s %13.1f MB/s",
+                    member_counts[i], points[i].raid0_read,
+                    points[i].raid0_write, points[i].raid5_write);
   }
   now::bench::row("");
   now::bench::row("paper claim: striping across enough disks gives each "

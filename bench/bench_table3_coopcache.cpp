@@ -1,16 +1,23 @@
 // Table 3: the impact of cooperative caching — 42 workstations with 16 MB
 // caches and a 128 MB server, trace-driven, plus the algorithm ablation
 // from the underlying study (Dahlin et al., OSDI '94).
+//
+// The four policies replay the same trace independently, so they run as a
+// parallel sweep (--jobs N) with byte-identical output to the serial run.
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "coopcache/coopcache.hpp"
 #include "trace/fs_trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace now;
   now::bench::heading(
       "Table 3 - impact of cooperative caching",
       "'A Case for NOW', Table 3 (42 workstations, 16 MB/workstation, "
       "128 MB server; two-day Berkeley trace -> synthetic equivalent)");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_table3_coopcache");
 
   trace::FsWorkloadParams wp;
   wp.clients = 42;
@@ -29,26 +36,37 @@ int main() {
                   "read response", "local", "peer");
 
   const coopcache::CacheCosts costs;
-  for (const auto policy :
-       {coopcache::Policy::kClientServer,
-        coopcache::Policy::kGreedyForwarding,
-        coopcache::Policy::kCentrallyCoordinated,
-        coopcache::Policy::kNChance}) {
-    coopcache::CoopCacheConfig cfg;
-    cfg.clients = wp.clients;
-    cfg.client_cache_blocks = 2'048;   // 16 MB at 8 KB blocks
-    cfg.server_cache_blocks = 16'384;  // 128 MB
-    cfg.policy = policy;
-    coopcache::CoopCacheSim sim(cfg);
-    const std::size_t warm = accesses.size() * 2 / 5;
-    for (std::size_t i = 0; i < accesses.size(); ++i) {
-      if (i == warm) sim.reset_stats();
-      sim.access(accesses[i].client, accesses[i].block,
-                 accesses[i].is_write);
-    }
-    const auto& r = sim.results();
+  const std::vector<coopcache::Policy> policies{
+      coopcache::Policy::kClientServer,
+      coopcache::Policy::kGreedyForwarding,
+      coopcache::Policy::kCentrallyCoordinated,
+      coopcache::Policy::kNChance};
+  std::vector<std::string> names;
+  for (const auto policy : policies) {
+    names.push_back(coopcache::policy_name(policy));
+  }
+  const auto results = sweep.run(
+      names, [&](now::exp::RunContext& ctx) {
+        coopcache::CoopCacheConfig cfg;
+        cfg.clients = wp.clients;
+        cfg.client_cache_blocks = 2'048;   // 16 MB at 8 KB blocks
+        cfg.server_cache_blocks = 16'384;  // 128 MB
+        cfg.policy = policies[ctx.task_index];
+        cfg.seed = ctx.seed;
+        coopcache::CoopCacheSim sim(cfg);
+        const std::size_t warm = accesses.size() * 2 / 5;
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+          if (i == warm) sim.reset_stats();
+          sim.access(accesses[i].client, accesses[i].block,
+                     accesses[i].is_write);
+        }
+        return sim.results();
+      });
+
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& r = results[i];
     now::bench::row("%-24s %11.1f%% %13.2f ms %9.1f%% %9.1f%%",
-                    coopcache::policy_name(policy), 100 * r.miss_rate(),
+                    coopcache::policy_name(policies[i]), 100 * r.miss_rate(),
                     r.mean_read_response_ms(costs),
                     100 * r.local_hit_rate(),
                     100 * static_cast<double>(r.remote_client_hits) /

@@ -6,16 +6,32 @@
 // Passing `--json <path>` to a bench additionally writes the reproduced
 // numbers as a machine-readable report in the BENCH_engine.json shape
 // ({benchmark, units, machine, method, results, notes}) via JsonReport.
+//
+// Sweep-shaped benches additionally take:
+//   --jobs N         run independent sweep points on N worker threads via
+//                    now::exp (default: one per hardware thread; 1 = the
+//                    serial path, no pool).  stdout is byte-identical for
+//                    every N: points compute results on workers, the main
+//                    thread formats rows in index order.
+//   --sweep-json P   write per-point wall-clock and the aggregate speedup
+//                    (busy_ms / wall_ms) as a JsonReport-shaped file.
+//   --seed S         base seed for exp::derive_seed (default 1).
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "exp/runner.hpp"
 
 namespace now::bench {
 
@@ -87,11 +103,14 @@ class JsonReport {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
     }
-#if defined(__clang__)
-    machine_ = std::string("clang ") + __clang_version__;
-#elif defined(__VERSION__)
-    machine_ = std::string("g++ ") + __VERSION__;
-#endif
+    default_machine();
+  }
+
+  /// Reports to a known path (the Sweep helper's --sweep-json file).
+  JsonReport(std::string path, std::string benchmark, std::string units)
+      : path_(std::move(path)), benchmark_(std::move(benchmark)),
+        units_(std::move(units)) {
+    default_machine();
   }
   ~JsonReport() { write(); }
   JsonReport(const JsonReport&) = delete;
@@ -169,6 +188,14 @@ class JsonReport {
     std::vector<std::pair<std::string, double>> fields;
   };
 
+  void default_machine() {
+#if defined(__clang__)
+    machine_ = std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+    machine_ = std::string("g++ ") + __VERSION__;
+#endif
+  }
+
   std::string path_;
   std::string benchmark_;
   std::string units_;
@@ -176,6 +203,101 @@ class JsonReport {
   std::string method_;
   std::vector<Result> results_;
   std::vector<std::string> notes_;
+  bool written_ = false;
+};
+
+/// `--jobs N` (0 = hardware concurrency), or 0 when absent/garbled.
+inline unsigned parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// Drives a bench's sweep points through now::exp::run_sweep behind the
+/// --jobs / --sweep-json / --seed flags.
+///
+/// Each run() call hands every point a fresh exp::RunContext (derived
+/// seed, private metrics/tracer/log) and returns the results in point
+/// order; the bench then formats its rows from them on the main thread,
+/// which is what keeps stdout byte-identical across --jobs values.  Sweep
+/// itself never prints.  Wall-clock per point and the aggregate speedup
+/// (busy_ms / wall_ms — how much serial compute the elapsed time bought)
+/// go to the --sweep-json report only, since they are nondeterministic.
+class Sweep {
+ public:
+  Sweep(int argc, char** argv, std::string benchmark)
+      : benchmark_(std::move(benchmark)), jobs_(parse_jobs(argc, argv)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--sweep-json") == 0) path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--seed") == 0) {
+        base_seed_ = std::strtoull(argv[i + 1], nullptr, 10);
+      }
+    }
+  }
+  ~Sweep() { write(); }
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  /// Workers the sweep will actually use.
+  unsigned jobs() const { return now::exp::effective_jobs(jobs_); }
+  std::uint64_t base_seed() const { return base_seed_; }
+
+  /// Runs fn(ctx) for one point per entry of `names` (the point labels in
+  /// the sweep report) and returns the per-point results in order.
+  /// Callable several times; later calls continue the task-index space.
+  template <typename Fn>
+  auto run(const std::vector<std::string>& names, Fn&& fn) {
+    now::exp::SweepOptions opt;
+    opt.jobs = jobs_;
+    opt.base_seed = base_seed_;
+    opt.first_index = next_index_;
+    std::vector<double> wall;
+    opt.wall_ms = &wall;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = now::exp::run_sweep(names.size(), fn, opt);
+    wall_ms_ += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      busy_ms_ += wall[i];
+      points_.emplace_back(names[i], wall[i]);
+    }
+    next_index_ += names.size();
+    return results;
+  }
+
+  /// Writes the --sweep-json report (no-op without the flag; idempotent).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    JsonReport r(path_, benchmark_ + ".sweep", "wall_ms");
+    r.method("now::exp::run_sweep; speedup = busy_ms / wall_ms (serial "
+             "compute bought per elapsed unit)");
+    for (const auto& [name, ms] : points_) r.value(name, "wall_ms", ms);
+    r.value("aggregate", "jobs", jobs());
+    r.value("aggregate", "hardware_concurrency",
+            std::thread::hardware_concurrency());
+    r.value("aggregate", "points", static_cast<double>(points_.size()));
+    r.value("aggregate", "wall_ms", wall_ms_);
+    r.value("aggregate", "busy_ms", busy_ms_);
+    r.value("aggregate", "speedup", wall_ms_ > 0 ? busy_ms_ / wall_ms_ : 0);
+    r.note("wall times are nondeterministic; every simulated result and "
+           "stdout byte is --jobs-invariant");
+    r.write();
+  }
+
+ private:
+  std::string benchmark_;
+  std::string path_;
+  unsigned jobs_ = 0;
+  std::uint64_t base_seed_ = 1;
+  std::size_t next_index_ = 0;
+  double wall_ms_ = 0;
+  double busy_ms_ = 0;
+  std::vector<std::pair<std::string, double>> points_;
   bool written_ = false;
 };
 

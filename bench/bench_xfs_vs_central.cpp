@@ -4,8 +4,15 @@
 // sweep the client count over the same workload on both architectures and
 // watch the central server's disk and CPU saturate while xFS spreads the
 // load over everyone.  Then kill one machine in each design.
+//
+// The five client counts are independent sweep points (--jobs N).  Both
+// designs inside a point draw the identical request stream from the
+// point's derived seed, so the comparison stays controlled and the point
+// is a pure function of (base seed, index).
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/cluster.hpp"
@@ -23,10 +30,12 @@ struct RunResult {
 
 // Each client issues `per_client` ops with 20 ms think time; reads draw
 // from a shared pool with Zipf-ish reuse, 25 % writes.
-RunResult run_central(std::uint32_t nclients, int per_client) {
+RunResult run_central(std::uint32_t nclients, int per_client,
+                      exp::RunContext& ctx) {
   ClusterConfig cfg;
   cfg.workstations = nclients + 1;  // +1 server
   cfg.with_glunix = false;
+  cfg.run = &ctx;
   Cluster c(cfg);
   xfs::CentralFsParams p;
   p.client_cache_blocks = 64;
@@ -37,7 +46,7 @@ RunResult run_central(std::uint32_t nclients, int per_client) {
   xfs::CentralServerFs fs(c.rpc(), c.node(0), clients, p);
   fs.start();
 
-  auto rng = std::make_shared<sim::Pcg32>(9);
+  auto rng = std::make_shared<sim::Pcg32>(ctx.seed);
   auto total_ms = std::make_shared<double>(0);
   auto done_ops = std::make_shared<int>(0);
   auto issue = std::make_shared<
@@ -71,16 +80,18 @@ RunResult run_central(std::uint32_t nclients, int per_client) {
   return r;
 }
 
-RunResult run_xfs(std::uint32_t nclients, int per_client) {
+RunResult run_xfs(std::uint32_t nclients, int per_client,
+                  exp::RunContext& ctx) {
   ClusterConfig cfg;
   cfg.workstations = nclients + 1;
   cfg.with_glunix = false;
   cfg.with_xfs = true;
   cfg.xfs.client_cache_blocks = 64;
   cfg.xfs.segment_blocks = std::min<std::uint32_t>(nclients, 16);
+  cfg.run = &ctx;
   Cluster c(cfg);
 
-  auto rng = std::make_shared<sim::Pcg32>(9);
+  auto rng = std::make_shared<sim::Pcg32>(ctx.seed);
   auto total_ms = std::make_shared<double>(0);
   auto done_ops = std::make_shared<int>(0);
   auto issue = std::make_shared<
@@ -113,21 +124,38 @@ RunResult run_xfs(std::uint32_t nclients, int per_client) {
   return r;
 }
 
+struct Point {
+  RunResult central;
+  RunResult xfs;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   now::bench::heading(
       "xFS vs central-server file service - scalability",
       "'A Case for NOW', xFS motivation: 'any centralized resource will "
       "become a bottleneck with enough users'");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_xfs_vs_central");
 
   now::bench::row("%-10s %16s %14s %16s %14s", "clients",
                   "central ops/s", "central ms", "xFS ops/s", "xFS ms");
-  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 24u}) {
-    const RunResult cs = run_central(n, 120);
-    const RunResult xf = run_xfs(n, 120);
-    now::bench::row("%-10u %16.0f %14.2f %16.0f %14.2f", n, cs.ops_per_sec,
-                    cs.mean_ms, xf.ops_per_sec, xf.mean_ms);
+  const std::vector<std::uint32_t> client_counts{2, 4, 8, 16, 24};
+  std::vector<std::string> names;
+  for (const std::uint32_t n : client_counts) {
+    names.push_back("clients_" + std::to_string(n));
+  }
+  const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
+    const std::uint32_t n = client_counts[ctx.task_index];
+    Point p;
+    p.central = run_central(n, 120, ctx);
+    p.xfs = run_xfs(n, 120, ctx);
+    return p;
+  });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    now::bench::row("%-10u %16.0f %14.2f %16.0f %14.2f", client_counts[i],
+                    points[i].central.ops_per_sec, points[i].central.mean_ms,
+                    points[i].xfs.ops_per_sec, points[i].xfs.mean_ms);
   }
   now::bench::row("");
   now::bench::row("expected shape: the central design's response time "

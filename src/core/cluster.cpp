@@ -31,7 +31,14 @@ std::unique_ptr<net::Network> make_fabric(sim::Engine& engine, Fabric f,
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   assert(config_.workstations >= 2);
-  // Trace timestamps follow this cluster's simulated clock.
+  if (config_.run != nullptr) {
+    assert(exp::current_context() == config_.run &&
+           "ClusterConfig::run must be installed on the constructing "
+           "thread (exp::ScopedRunContext / exp::run_sweep)");
+    config_.seed = config_.run->seed;
+  }
+  // Trace timestamps follow this cluster's simulated clock.  Inside a run
+  // context this binds the run's private tracer, not the process one.
   obs::tracer().set_clock(&engine_);
   network_ = make_fabric(engine_, config_.fabric, config_.seed);
   mux_ = std::make_unique<proto::NicMux>(*network_);

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "exp/run_context.hpp"
 #include "glunix/glunix.hpp"
 #include "net/network.hpp"
 #include "netram/registry.hpp"
@@ -63,6 +64,15 @@ struct ClusterConfig {
   bool with_netram_registry = false;
 
   std::uint64_t seed = 1;
+
+  /// This run's isolation context, when the cluster is one task of a
+  /// parallel sweep (exp::run_sweep sets it up).  When non-null, the
+  /// cluster seeds itself from run->seed (overriding `seed`) and expects
+  /// the context to be installed on the constructing thread — the
+  /// constructor's obs::tracer()/obs::metrics() calls then resolve to the
+  /// run's private instances, so concurrent Clusters share no mutable
+  /// state.  Construct, drive, and destroy the cluster on that thread.
+  exp::RunContext* run = nullptr;
 };
 
 class Cluster {
@@ -98,17 +108,23 @@ class Cluster {
   netram::IdleMemoryRegistry& memory_registry() { return *registry_; }
 
   // --- Observability ---------------------------------------------------
-  /// The process-wide metrics registry every subsystem reports into.
-  obs::MetricsRegistry& metrics() { return obs::metrics(); }
+  /// The metrics registry every subsystem reports into: the run context's
+  /// private registry when this cluster is a sweep task, else the
+  /// process-wide default.
+  obs::MetricsRegistry& metrics() {
+    return config_.run != nullptr ? config_.run->metrics : obs::metrics();
+  }
   /// Starts recording spans/instants into the trace ring buffer
   /// (`capacity` events; oldest are overwritten when it fills).
   void enable_tracing(std::size_t capacity = 1u << 20) {
-    obs::tracer().enable(capacity);
+    (config_.run != nullptr ? config_.run->tracer : obs::tracer())
+        .enable(capacity);
   }
   /// Writes everything recorded so far as Chrome trace-event JSON —
   /// load the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
   bool trace_to(const std::string& path) {
-    return obs::tracer().export_chrome_json(path);
+    return (config_.run != nullptr ? config_.run->tracer : obs::tracer())
+        .export_chrome_json(path);
   }
 
   /// Drives the simulation.

@@ -1,0 +1,128 @@
+#include "exp/pool.hpp"
+
+namespace now::exp {
+
+unsigned effective_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+WorkStealingPool::WorkStealingPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  deques_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool WorkStealingPool::pop_or_steal(unsigned self, std::size_t* out) {
+  {
+    Deque& own = *deques_[self];
+    std::lock_guard<std::mutex> lock(own.m);
+    if (!own.tasks.empty()) {
+      *out = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  const unsigned w = static_cast<unsigned>(deques_.size());
+  for (unsigned k = 1; k < w; ++k) {
+    Deque& victim = *deques_[(self + k) % w];
+    std::lock_guard<std::mutex> lock(victim.m);
+    if (!victim.tasks.empty()) {
+      *out = victim.tasks.back();
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_main(unsigned self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    std::size_t idx;
+    while (pop_or_steal(self, &idx)) {
+      // Re-read fn_ per task rather than caching it across the inner loop:
+      // a worker draining the tail of one batch can legally pick up the
+      // first tasks of the next (they are published before the generation
+      // bump), and must run them with the new batch's function.
+      const std::function<void(std::size_t)>* fn;
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        fn = fn_;
+      }
+      std::exception_ptr err;
+      try {
+        (*fn)(idx);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        if (err) failures_.emplace_back(idx, err);
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void WorkStealingPool::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One batch at a time; a second caller queues here, not on the workers.
+  std::lock_guard<std::mutex> batch_lock(batch_m_);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    fn_ = &fn;
+    remaining_ = n;
+    failures_.clear();
+  }
+  // Publish the tasks round-robin *before* bumping the generation: workers
+  // still draining the previous batch may pick these up early (see
+  // worker_main), and late wakers find them by the generation change.
+  const std::size_t w = deques_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Deque& d = *deques_[i % w];
+    std::lock_guard<std::mutex> lock(d.m);
+    d.tasks.push_back(i);
+  }
+  std::vector<std::pair<std::size_t, std::exception_ptr>> failures;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+    failures.swap(failures_);
+  }
+  if (!failures.empty()) {
+    const auto* worst = &failures.front();
+    for (const auto& f : failures) {
+      if (f.first < worst->first) worst = &f;
+    }
+    std::rethrow_exception(worst->second);
+  }
+}
+
+}  // namespace now::exp

@@ -1,0 +1,78 @@
+// A work-stealing thread pool for independent simulation tasks.
+//
+// The unit of work is coarse — an entire simulation run, milliseconds to
+// minutes of CPU — so the pool optimizes for predictable distribution and
+// clean shutdown, not nanosecond dispatch.  Each worker owns a deque;
+// for_each_index() deals task indices round-robin across the deques, the
+// owner pops from the front (so low indices — usually the biggest sweep
+// points — start first), and an idle worker steals from the *back* of a
+// victim's deque, keeping thieves and owners on opposite ends.
+//
+// for_each_index blocks until every index has run.  Task exceptions are
+// collected and the one thrown by the lowest task index is rethrown to the
+// caller — deterministic regardless of which worker hit its exception
+// first.  Workers never touch thread-local simulation state themselves;
+// isolation is the runner's job (exp::ScopedRunContext inside the task).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace now::exp {
+
+/// Workers to use when the caller asked for `requested` (0 = one per
+/// hardware thread; always at least 1).
+unsigned effective_jobs(unsigned requested);
+
+class WorkStealingPool {
+ public:
+  /// Spawns `threads` workers (at least 1; see effective_jobs()).
+  explicit WorkStealingPool(unsigned threads);
+  /// Signals stop and joins.  Must not be called while a for_each_index
+  /// on another thread is still running.
+  ~WorkStealingPool();
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, on the pool's workers, and
+  /// blocks until all n calls returned.  If any calls threw, rethrows the
+  /// exception of the lowest failing index after the batch drains.  One
+  /// batch at a time: calls from concurrent threads serialize.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Deque {
+    std::mutex m;
+    std::deque<std::size_t> tasks;
+  };
+
+  bool pop_or_steal(unsigned self, std::size_t* out);
+  void worker_main(unsigned self);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;                      // batch + lifecycle state below
+  std::condition_variable work_cv_;   // workers: a new batch arrived
+  std::condition_variable done_cv_;   // caller: the batch drained
+  std::mutex batch_m_;                // serializes concurrent callers
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> failures_;
+  bool stop_ = false;
+};
+
+}  // namespace now::exp

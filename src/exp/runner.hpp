@@ -1,0 +1,90 @@
+// The sweep/replication runner: N independent simulations on all cores,
+// bit-identical to running them serially.
+//
+// run_sweep(n, task) executes task(ctx) for task indices 0..n-1, where each
+// call gets a fresh RunContext — derived seed, private metrics registry,
+// private tracer, private log config — installed on the executing thread
+// for exactly the task's duration.  Results land in task-index order no
+// matter which worker finished first, and because every task constructs
+// all of its state from ctx.seed = derive_seed(base_seed, index), the
+// result vector is invariant under the jobs count:
+//
+//     run_sweep(n, task, {.jobs = 1}) == run_sweep(n, task, {.jobs = 8})
+//
+// byte for byte (results, metrics dumps, traces).  `jobs = 1` runs inline
+// on the calling thread with no pool at all — the exact serial code path —
+// so the equality above is a real test oracle, exercised by
+// tests/exp_test.cpp and the CI sweep-determinism diff.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "exp/pool.hpp"
+#include "exp/run_context.hpp"
+
+namespace now::exp {
+
+struct SweepOptions {
+  /// Worker threads; 0 = one per hardware thread, 1 = serial (no pool).
+  unsigned jobs = 0;
+  /// Sweep identity: task i seeds from derive_seed(base_seed, first_index + i).
+  std::uint64_t base_seed = 1;
+  /// Offset into the task-index space, for running several sweeps under
+  /// one base seed without reusing indices (bench_util's Sweep threads its
+  /// running count through here).
+  std::size_t first_index = 0;
+  /// When set, receives per-task wall-clock milliseconds (index order).
+  /// Wall times are measurement, not results: they vary run to run and
+  /// must never feed back into simulation state or printed output.
+  std::vector<double>* wall_ms = nullptr;
+};
+
+/// Runs task(ctx) for indices 0..n-1 and returns the results in index
+/// order.  Task exceptions propagate: the exception of the lowest failing
+/// index is rethrown (at jobs = 1, later tasks do not run; at jobs > 1 the
+/// batch drains first).
+template <typename Fn>
+auto run_sweep(std::size_t n, Fn&& task, const SweepOptions& opt = {})
+    -> std::vector<std::invoke_result_t<Fn&, RunContext&>> {
+  using R = std::invoke_result_t<Fn&, RunContext&>;
+  static_assert(!std::is_void_v<R>,
+                "run_sweep tasks must return their result (use a struct; "
+                "side effects through shared state defeat isolation)");
+  std::vector<std::optional<R>> slots(n);
+  if (opt.wall_ms != nullptr) opt.wall_ms->assign(n, 0.0);
+
+  const auto run_one = [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RunContext ctx(opt.base_seed, opt.first_index + i);
+    ScopedRunContext scope(ctx);
+    slots[i].emplace(task(ctx));
+    if (opt.wall_ms != nullptr) {
+      (*opt.wall_ms)[i] =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  };
+
+  const unsigned jobs = effective_jobs(opt.jobs);
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    WorkStealingPool pool(jobs < n ? jobs : static_cast<unsigned>(n));
+    pool.for_each_index(n, run_one);
+  }
+
+  std::vector<R> results;
+  results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    results.push_back(std::move(*slots[i]));
+  }
+  return results;
+}
+
+}  // namespace now::exp

@@ -1,0 +1,37 @@
+// Deterministic per-task seed derivation for parallel sweeps.
+//
+// Every task in a sweep (sweep point x seed replica) gets
+// derive_seed(base_seed, task_index): the task_index-th output of the
+// SplitMix64 stream seeded with base_seed.  The derived seed depends only
+// on (base_seed, task_index) — never on thread count, scheduling order, or
+// which worker ran the task — which is what makes a parallel sweep
+// bit-identical to the serial one.  SplitMix64 (Steele et al., "Fast
+// Splittable Pseudorandom Number Generators", OOPSLA'14) is a bijective
+// finalizer over a Weyl sequence, so distinct task indices can never
+// collide for a fixed base seed.
+#pragma once
+
+#include <cstdint>
+
+namespace now::exp {
+
+/// The SplitMix64 output function (a bijection on 64-bit values).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed for task `task_index` of a sweep keyed by `base_seed`.
+///
+/// Equal to the (task_index + 1)-th output of the canonical SplitMix64
+/// generator seeded with `base_seed`.  Never returns 0, because several
+/// components treat a zero seed as "derive one for me" (os::CpuParams).
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                    std::uint64_t task_index) {
+  const std::uint64_t z =
+      splitmix64_mix(base_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1));
+  return z != 0 ? z : 0x2545f4914f6cdd1dULL;
+}
+
+}  // namespace now::exp

@@ -8,9 +8,22 @@
 
 namespace now::obs {
 
-MetricsRegistry& metrics() {
+namespace {
+MetricsRegistry& process_metrics() {
   static MetricsRegistry registry;
   return registry;
+}
+thread_local MetricsRegistry* t_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry& metrics() {
+  return t_metrics != nullptr ? *t_metrics : process_metrics();
+}
+
+MetricsRegistry* set_thread_metrics(MetricsRegistry* r) {
+  MetricsRegistry* prev = t_metrics;
+  t_metrics = r;
+  return prev;
 }
 
 template <typename T>

@@ -13,8 +13,16 @@
 // recorded anywhere — two runs with the same seed produce byte-identical
 // dumps.  Disabling observability (set_enabled(false), or compiling with
 // -DNOW_OBS_DISABLED) reduces every update to a dead branch.
+//
+// Threading model: a MetricsRegistry (like the Engine whose events update
+// it) is engine-confined — one simulation, one thread, no locks.  The
+// process-wide default returned by obs::metrics() can be rebound per
+// thread (set_thread_metrics), which is how now::exp gives each of N
+// concurrent simulations its own registry while every instrumentation
+// site keeps calling plain obs::metrics().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -28,8 +36,10 @@ namespace now::obs {
 
 namespace detail {
 /// Single process-wide kill switch shared by every instrument update and
-/// trace emission.
-inline bool g_enabled = true;
+/// trace emission.  Atomic (relaxed) so concurrent simulations may read it
+/// while a test toggles it; the toggle itself is not synchronized with
+/// in-flight updates.
+inline std::atomic<bool> g_enabled{true};
 }  // namespace detail
 
 /// True when instrumentation should record.  Compiled to `false` (and the
@@ -38,11 +48,13 @@ inline bool enabled() {
 #ifdef NOW_OBS_DISABLED
   return false;
 #else
-  return detail::g_enabled;
+  return detail::g_enabled.load(std::memory_order_relaxed);
 #endif
 }
 
-inline void set_enabled(bool on) { detail::g_enabled = on; }
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
 
 /// Monotonic event count ("packets dropped", "segments cleaned").
 class Counter {
@@ -140,7 +152,14 @@ class MetricsRegistry {
   std::map<std::string, Instrument, std::less<>> instruments_;
 };
 
-/// The process-wide default registry.
+/// The calling thread's active registry: its override if one is installed,
+/// else the process-wide default.  Handles cached from it are confined to
+/// the simulation that cached them.
 MetricsRegistry& metrics();
+
+/// Rebinds obs::metrics() on this thread to `r` (nullptr = back to the
+/// process default) and returns the previous override.  The caller owns
+/// `r`'s lifetime; exp::ScopedRunContext pairs install/restore with a run.
+MetricsRegistry* set_thread_metrics(MetricsRegistry* r);
 
 }  // namespace now::obs

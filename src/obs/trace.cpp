@@ -12,9 +12,22 @@
 
 namespace now::obs {
 
-Tracer& tracer() {
+namespace {
+Tracer& process_tracer() {
   static Tracer t;
   return t;
+}
+thread_local Tracer* t_tracer = nullptr;
+}  // namespace
+
+Tracer& tracer() {
+  return t_tracer != nullptr ? *t_tracer : process_tracer();
+}
+
+Tracer* set_thread_tracer(Tracer* t) {
+  Tracer* prev = t_tracer;
+  t_tracer = t;
+  return prev;
 }
 
 sim::SimTime Tracer::clock_now() const {

@@ -99,8 +99,17 @@ class Tracer {
   std::vector<std::string> tracks_;
 };
 
-/// The process-wide tracer.
+/// The calling thread's active tracer: its override if one is installed,
+/// else the process-wide default.  A Tracer is engine-confined (track
+/// interning and the ring buffer are unlocked); concurrent simulations
+/// must each run against their own — which the per-thread override (and
+/// exp::ScopedRunContext, which installs it) provides.
 Tracer& tracer();
+
+/// Rebinds obs::tracer() on this thread to `t` (nullptr = back to the
+/// process default) and returns the previous override.  The caller owns
+/// `t`'s lifetime.
+Tracer* set_thread_tracer(Tracer* t);
 
 /// Lexically scoped span on the process-wide tracer, stamped with the bound
 /// simulated clock.  Nest freely; Perfetto renders the nesting.

@@ -26,6 +26,13 @@
 //     4-ary implicit heap of the same 16-byte entries, laid out so every
 //     4-child group is one 64-byte cache line; dispatch takes the exact
 //     (time, priority, seq) minimum of the run head and the heap top.
+//
+// Threading model: an Engine — and everything hanging off it (components,
+// their RNGs, the run's metrics registry and tracer) — is *engine-confined*:
+// one simulation, one thread, no locks.  Concurrent simulations are N
+// engines on N threads sharing nothing; now::exp::run_sweep builds exactly
+// that, giving each run thread-local observability/log state so results are
+// invariant under the thread count (DESIGN.md §10).
 #pragma once
 
 #include <cassert>

@@ -1,22 +1,31 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <mutex>
 
 namespace now::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::map<std::string, LogLevel, std::less<>>& module_levels() {
-  static std::map<std::string, LogLevel, std::less<>> m;
-  return m;
+// The process-default config plus the once-guard for NOW_LOG parsing.
+// Worker threads normally never touch this: now::exp installs a per-thread
+// override before running simulation code, so the default is only read
+// (and only mutated) from the main thread.  The env parse alone is
+// guarded, because the first log call of a process may legally come from
+// any thread.
+struct ProcessLog {
+  std::atomic<bool> parsed{false};
+  std::mutex parse_mutex;
+  LogConfig cfg;
+};
+
+ProcessLog& process_log() {
+  static ProcessLog p;
+  return p;
 }
-LogSink& sink() {
-  static LogSink s;
-  return s;
-}
-bool g_env_parsed = false;
+
+thread_local LogConfig* t_config = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -51,9 +60,7 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-void ensure_env_parsed() {
-  if (g_env_parsed) return;
-  g_env_parsed = true;
+void parse_env_into(LogConfig& cfg) {
   const char* env = std::getenv("NOW_LOG");
   if (env == nullptr) return;
   std::string_view rest(env);
@@ -66,13 +73,13 @@ void ensure_env_parsed() {
     LogLevel lvl;
     const std::size_t eq = item.find('=');
     if (eq == std::string_view::npos) {
-      if (parse_level(item, &lvl)) g_level = lvl;
+      if (parse_level(item, &lvl)) cfg.level = lvl;
       else std::fprintf(stderr, "NOW_LOG: unknown level '%.*s'\n",
                         static_cast<int>(item.size()), item.data());
     } else {
       const std::string_view component = trim(item.substr(0, eq));
       if (parse_level(trim(item.substr(eq + 1)), &lvl)) {
-        module_levels()[std::string(component)] = lvl;
+        cfg.module_levels[std::string(component)] = lvl;
       } else {
         std::fprintf(stderr, "NOW_LOG: bad entry '%.*s'\n",
                      static_cast<int>(item.size()), item.data());
@@ -80,42 +87,66 @@ void ensure_env_parsed() {
     }
   }
 }
+
+void ensure_env_parsed() {
+  ProcessLog& p = process_log();
+  if (p.parsed.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(p.parse_mutex);
+  if (p.parsed.load(std::memory_order_relaxed)) return;
+  parse_env_into(p.cfg);
+  p.parsed.store(true, std::memory_order_release);
+}
+
+/// The calling thread's active config: its override, else the (env-parsed)
+/// process default.
+LogConfig& active() {
+  if (t_config != nullptr) return *t_config;
+  ensure_env_parsed();
+  return process_log().cfg;
+}
 }  // namespace
 
 void init_log_from_env() {
-  g_env_parsed = false;
-  ensure_env_parsed();
+  ProcessLog& p = process_log();
+  std::lock_guard<std::mutex> lock(p.parse_mutex);
+  parse_env_into(p.cfg);
+  p.parsed.store(true, std::memory_order_release);
 }
 
-void set_log_level(LogLevel level) {
-  ensure_env_parsed();  // an explicit call wins over the environment
-  g_level = level;
+LogConfig snapshot_log_config() {
+  ensure_env_parsed();
+  return process_log().cfg;
 }
 
-LogLevel log_level() {
-  ensure_env_parsed();
-  return g_level;
+LogConfig* set_thread_log_config(LogConfig* cfg) {
+  LogConfig* prev = t_config;
+  t_config = cfg;
+  return prev;
 }
+
+LogConfig* thread_log_config() { return t_config; }
+
+void set_log_level(LogLevel level) { active().level = level; }
+
+LogLevel log_level() { return active().level; }
 
 void set_module_log_level(const std::string& component, LogLevel level) {
-  ensure_env_parsed();
-  module_levels()[component] = level;
+  active().module_levels[component] = level;
 }
 
-void clear_module_log_levels() { module_levels().clear(); }
+void clear_module_log_levels() { active().module_levels.clear(); }
 
 LogLevel log_threshold(std::string_view component) {
-  ensure_env_parsed();
-  const auto& m = module_levels();
-  const auto it = m.find(component);
-  return it == m.end() ? g_level : it->second;
+  const LogConfig& cfg = active();
+  const auto it = cfg.module_levels.find(component);
+  return it == cfg.module_levels.end() ? cfg.level : it->second;
 }
 
 bool log_enabled(LogLevel level, std::string_view component) {
   return level >= log_threshold(component);
 }
 
-void set_log_sink(LogSink s) { sink() = std::move(s); }
+void set_log_sink(LogSink s) { active().sink = std::move(s); }
 
 std::string format_log_line(LogLevel level, SimTime at,
                             const std::string& component,
@@ -128,7 +159,7 @@ std::string format_log_line(LogLevel level, SimTime at,
 
 void log_line(LogLevel level, SimTime at, const std::string& component,
               const std::string& message) {
-  if (const LogSink& s = sink()) {
+  if (const LogSink& s = active().sink) {
     s(level, at, component, message);
     return;
   }

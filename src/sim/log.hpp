@@ -9,13 +9,25 @@
 //        NOW_LOG=debug
 //        NOW_LOG=warn,net=trace,xfs=debug
 //    Levels: trace, debug, info, warn, error, off.
-//  * Pluggable sink: every emitted line goes through one process-wide sink
+//  * Pluggable sink: every emitted line goes through the active sink
 //    (default: stderr).  now::obs installs a sink that mirrors lines into
 //    the trace buffer as instant events (obs::mirror_logs_to_trace), which
 //    is how log output lands on the Perfetto timeline next to the spans.
+//
+// Threading model: the threshold, per-component overrides, and sink live in
+// a LogConfig.  There is one process-default LogConfig, and each thread may
+// install its own override (set_thread_log_config) — which is how
+// now::exp runs concurrent simulations whose logs neither interleave nor
+// race: every worker gets a private LogConfig snapshotted from the process
+// default.  All accessors below act on the calling thread's *active*
+// config (its override if installed, else the process default).  The
+// process default itself is not locked: mutate it only from the main
+// thread while no worker threads are logging (NOW_LOG parsing is guarded
+// and may race-freely happen on any thread).
 #pragma once
 
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -26,7 +38,35 @@ namespace now::sim {
 
 enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold; messages below it are discarded.
+/// Receives every line that passes the filter.
+using LogSink = std::function<void(LogLevel, SimTime at,
+                                   const std::string& component,
+                                   const std::string& message)>;
+
+/// One complete logging configuration: global threshold, per-component
+/// overrides, and the sink (null sink = the default stderr printer).
+struct LogConfig {
+  LogLevel level = LogLevel::kWarn;
+  std::map<std::string, LogLevel, std::less<>> module_levels;
+  LogSink sink;
+};
+
+/// Copy of the process-default config (NOW_LOG applied).  The starting
+/// point for a per-thread override.
+LogConfig snapshot_log_config();
+
+/// Installs `cfg` as this thread's active config and returns the previous
+/// override (nullptr if the thread was on the process default).  Passing
+/// nullptr reverts to the process default.  The caller keeps ownership:
+/// `cfg` must outlive the installation (exp::ScopedRunContext pairs the
+/// install/restore with the run's lifetime).
+LogConfig* set_thread_log_config(LogConfig* cfg);
+
+/// This thread's installed override, or nullptr when on the process default.
+LogConfig* thread_log_config();
+
+/// Global log threshold of the active config; messages below it are
+/// discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -38,17 +78,13 @@ void clear_module_log_levels();
 LogLevel log_threshold(std::string_view component);
 bool log_enabled(LogLevel level, std::string_view component);
 
-/// Re-reads NOW_LOG.  Called automatically (once) before the first filter
-/// query; call explicitly after changing the environment mid-process.
+/// Re-reads NOW_LOG into the process default.  Called automatically (once)
+/// before the first filter query; call explicitly after changing the
+/// environment mid-process.
 void init_log_from_env();
 
-/// Receives every line that passes the filter.
-using LogSink = std::function<void(LogLevel, SimTime at,
-                                   const std::string& component,
-                                   const std::string& message)>;
-
-/// Installs `sink` as the process-wide destination; a null sink restores the
-/// default stderr printer.
+/// Installs `sink` as the active config's destination; a null sink restores
+/// the default stderr printer.
 void set_log_sink(LogSink sink);
 
 /// Formats one line "[  12.345ms] LEVEL component: message" (what the
@@ -57,7 +93,7 @@ std::string format_log_line(LogLevel level, SimTime at,
                             const std::string& component,
                             const std::string& message);
 
-/// Emits one line through the installed sink.  Does not re-check the filter.
+/// Emits one line through the active sink.  Does not re-check the filter.
 void log_line(LogLevel level, SimTime at, const std::string& component,
               const std::string& message);
 
