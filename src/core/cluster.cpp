@@ -90,6 +90,19 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       netram::install_donor_service(*rpc_, *n);
     }
   }
+
+  // Fault injection sits above everything else: it only drives the
+  // reaction paths the subsystems already expose.
+  fault::FaultTargets targets;
+  targets.engine = &engine_;
+  targets.nodes = node_ptrs();
+  targets.network = network_.get();
+  targets.storage = storage_;
+  targets.xfs = xfs_.get();
+  targets.registry = registry_.get();
+  faults_ = std::make_unique<fault::FaultInjector>(
+      std::move(targets), config_.seed, config_.fault_policy);
+  if (!config_.fault_plan.empty()) faults_->apply(config_.fault_plan);
 }
 
 Cluster::~Cluster() = default;
@@ -108,20 +121,18 @@ raid::RaidStats Cluster::storage_stats() const {
 }
 
 bool Cluster::storage_degraded() const {
-  if (groups_) return groups_->degraded();
-  if (raid_) return raid_->degraded();
-  return false;
+  return storage_ != nullptr && storage_->degraded();
 }
 
 void Cluster::crash_node(std::uint32_t i) {
   os::Node& n = node(i);
   n.crash();
-  if (raid_) raid_->member_failed(n.id());
-  if (groups_) groups_->member_failed(n.id());
+  if (storage_ != nullptr) storage_->member_failed(n.id());
   if (xfs_) xfs_->client_crashed(n.id());
   if (registry_) registry_->donor_crashed(n.id());
   // GLUnix discovers the death through missed heartbeats, as it would in
-  // the real system.
+  // the real system.  Manager takeover stays with the caller (or with
+  // FaultInjector::crash_node, whose policy arranges it automatically).
 }
 
 }  // namespace now

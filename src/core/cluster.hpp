@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exp/run_context.hpp"
+#include "fault/fault.hpp"
 #include "glunix/glunix.hpp"
 #include "net/network.hpp"
 #include "netram/registry.hpp"
@@ -62,6 +63,13 @@ struct ClusterConfig {
 
   /// Idle-memory registry for network RAM (donors managed by the caller).
   bool with_netram_registry = false;
+
+  /// Failure schedule applied at construction (scripted events and/or
+  /// seeded stochastic churn — see src/fault).  Empty = nothing breaks.
+  fault::FaultPlan fault_plan;
+  /// Recovery policy for injected failures (auto manager takeover,
+  /// background RAID rebuild).
+  fault::FaultPolicy fault_policy;
 
   std::uint64_t seed = 1;
 
@@ -106,6 +114,9 @@ class Cluster {
   xfs::LogStore& log() { return *log_; }
   /// Requires with_netram_registry.
   netram::IdleMemoryRegistry& memory_registry() { return *registry_; }
+  /// Fault injection over every enabled subsystem.  Always available;
+  /// config.fault_plan is applied through it at construction.
+  fault::FaultInjector& faults() { return *faults_; }
 
   // --- Observability ---------------------------------------------------
   /// The metrics registry every subsystem reports into: the run context's
@@ -154,6 +165,7 @@ class Cluster {
   std::unique_ptr<xfs::LogStore> log_;
   std::unique_ptr<xfs::Xfs> xfs_;
   std::unique_ptr<netram::IdleMemoryRegistry> registry_;
+  std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 }  // namespace now

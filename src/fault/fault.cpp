@@ -1,0 +1,308 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "exp/seed.hpp"
+
+namespace now::fault {
+
+namespace {
+// Stream ids for the per-node RNGs; the (process << 32 | node) derive index
+// keeps them disjoint from each other and from the small task indices
+// exp::run_sweep burns on the same base seed.
+constexpr std::uint64_t kChurnStream = 1;
+constexpr std::uint64_t kFlapStream = 2;
+constexpr std::uint64_t kOwnerStream = 3;
+
+sim::Duration draw_exp(sim::Pcg32& rng, sim::Duration mean) {
+  return std::max<sim::Duration>(
+      1, static_cast<sim::Duration>(
+             rng.exponential(static_cast<double>(mean))));
+}
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRestart: return "node_restart";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kDiskFail: return "disk_fail";
+    case FaultKind::kDiskReplace: return "disk_replace";
+    case FaultKind::kOwnerReturn: return "owner_return";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultTargets targets, std::uint64_t seed,
+                             FaultPolicy policy)
+    : t_(std::move(targets)),
+      seed_(seed),
+      policy_(policy),
+      obs_crashes_(&obs::metrics().counter("fault.node_crashes")),
+      obs_restarts_(&obs::metrics().counter("fault.node_restarts")),
+      obs_link_downs_(&obs::metrics().counter("fault.link_downs")),
+      obs_link_ups_(&obs::metrics().counter("fault.link_ups")),
+      obs_disk_fails_(&obs::metrics().counter("fault.disk_fails")),
+      obs_disk_replacements_(
+          &obs::metrics().counter("fault.disk_replacements")),
+      obs_owner_returns_(&obs::metrics().counter("fault.owner_returns")),
+      obs_takeovers_(&obs::metrics().counter("fault.takeovers")),
+      obs_rebuilds_(&obs::metrics().counter("fault.rebuilds")),
+      obs_nodes_down_(&obs::metrics().gauge("fault.nodes_down")),
+      obs_downtime_ms_(&obs::metrics().summary("fault.downtime_ms")),
+      obs_rebuild_ms_(&obs::metrics().summary("fault.rebuild_ms")),
+      obs_takeover_ms_(&obs::metrics().summary("fault.takeover_ms")),
+      obs_track_(obs::tracer().track("fault")) {
+  assert(t_.engine != nullptr && !t_.nodes.empty());
+}
+
+os::Node* FaultInjector::node(net::NodeId n) const {
+  if (n < t_.nodes.size() && t_.nodes[n]->id() == n) return t_.nodes[n];
+  for (os::Node* p : t_.nodes) {
+    if (p->id() == n) return p;
+  }
+  return nullptr;
+}
+
+net::NodeId FaultInjector::next_alive(net::NodeId after) const {
+  std::size_t at = t_.nodes.size();
+  for (std::size_t i = 0; i < t_.nodes.size(); ++i) {
+    if (t_.nodes[i]->id() == after) at = i;
+  }
+  if (at == t_.nodes.size()) return net::kInvalidNode;
+  for (std::size_t k = 1; k <= t_.nodes.size(); ++k) {
+    os::Node* cand = t_.nodes[(at + k) % t_.nodes.size()];
+    if (cand->alive()) return cand->id();
+  }
+  return net::kInvalidNode;
+}
+
+sim::Pcg32 FaultInjector::stream_rng(std::uint64_t process,
+                                     net::NodeId n) const {
+  return sim::Pcg32(exp::derive_seed(seed_, (process << 32) | n), n);
+}
+
+bool FaultInjector::node_down(net::NodeId n) const {
+  return down_since_.contains(n);
+}
+
+std::size_t FaultInjector::nodes_down() const { return down_since_.size(); }
+
+void FaultInjector::schedule_event(const FaultEvent& ev) {
+  t_.engine->schedule_at(ev.at, [this, ev] { inject(ev); });
+}
+
+void FaultInjector::inject(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kNodeCrash: crash_node(ev.node); break;
+    case FaultKind::kNodeRestart: restart_node(ev.node); break;
+    case FaultKind::kLinkDown: fail_link(ev.node); break;
+    case FaultKind::kLinkUp: restore_link(ev.node); break;
+    case FaultKind::kDiskFail: fail_disk(ev.node); break;
+    case FaultKind::kDiskReplace: replace_disk(ev.node); break;
+    case FaultKind::kOwnerReturn: owner_returned(ev.node); break;
+  }
+}
+
+void FaultInjector::apply(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events) schedule_event(ev);
+  if (!plan.stochastic()) return;
+  assert(plan.horizon > 0 &&
+         "a stochastic FaultPlan needs FaultPlan::horizon (see until())");
+
+  // Materialize every draw now: the schedule depends only on the injector
+  // seed, never on what the workload got up to in the meantime.
+  auto targets = [&](const std::vector<net::NodeId>& list) {
+    if (!list.empty()) return list;
+    std::vector<net::NodeId> all;
+    all.reserve(t_.nodes.size());
+    for (os::Node* n : t_.nodes) all.push_back(n->id());
+    return all;
+  };
+
+  if (plan.node_mttf > 0) {
+    for (net::NodeId n : targets(plan.churn_nodes)) {
+      sim::Pcg32 rng = stream_rng(kChurnStream, n);
+      sim::SimTime t = 0;
+      while (true) {
+        t += draw_exp(rng, plan.node_mttf);
+        if (t >= plan.horizon) break;
+        schedule_event({t, FaultKind::kNodeCrash, n});
+        t += draw_exp(rng, plan.node_mttr);
+        if (t >= plan.horizon) break;
+        schedule_event({t, FaultKind::kNodeRestart, n});
+      }
+    }
+  }
+  if (plan.link_mtbf > 0) {
+    for (net::NodeId n : targets(plan.flap_nodes)) {
+      sim::Pcg32 rng = stream_rng(kFlapStream, n);
+      sim::SimTime t = 0;
+      while (true) {
+        t += draw_exp(rng, plan.link_mtbf);
+        if (t >= plan.horizon) break;
+        schedule_event({t, FaultKind::kLinkDown, n});
+        t += draw_exp(rng, plan.link_mttr);
+        if (t >= plan.horizon) break;
+        schedule_event({t, FaultKind::kLinkUp, n});
+      }
+    }
+  }
+  if (plan.owner_return_mean > 0) {
+    for (net::NodeId n : targets(plan.owner_nodes)) {
+      sim::Pcg32 rng = stream_rng(kOwnerStream, n);
+      sim::SimTime t = 0;
+      while (true) {
+        t += draw_exp(rng, plan.owner_return_mean);
+        if (t >= plan.horizon) break;
+        schedule_event({t, FaultKind::kOwnerReturn, n});
+      }
+    }
+  }
+}
+
+void FaultInjector::crash_node(net::NodeId n) {
+  os::Node* nd = node(n);
+  if (nd == nullptr || !nd->alive()) return;  // already down
+  nd->crash();
+  down_since_[n] = t_.engine->now();
+  ++stats_.node_crashes;
+  obs_crashes_->inc();
+  obs_nodes_down_->set(static_cast<double>(down_since_.size()));
+  obs::tracer().instant(n, obs_track_, "crash");
+
+  if (t_.storage != nullptr && t_.storage->is_member(n) &&
+      !t_.storage->member_down(n)) {
+    t_.storage->member_failed(n);
+  }
+  if (t_.xfs != nullptr) {
+    t_.xfs->client_crashed(n);
+    auto_takeover_after(n);
+  }
+  if (t_.registry != nullptr && t_.registry->is_donor(n)) {
+    t_.registry->donor_crashed(n);
+  }
+  // GLUnix is not poked: it discovers the death through missed heartbeats
+  // and restarts guests from their checkpoints, exactly as it would have.
+}
+
+void FaultInjector::auto_takeover_after(net::NodeId failed) {
+  if (!policy_.auto_takeover || t_.xfs == nullptr) return;
+  const sim::SimTime crashed_at = t_.engine->now();
+  t_.engine->schedule_in(
+      policy_.takeover_detection_delay, [this, failed, crashed_at] {
+        if (!node_down(failed)) return;           // rebooted first
+        if (!t_.xfs->is_manager(failed)) return;  // duty already moved
+        const net::NodeId succ = next_alive(failed);
+        if (succ == net::kInvalidNode) return;
+        t_.xfs->manager_takeover(
+            failed, succ, [this, succ, crashed_at] {
+              ++stats_.manager_takeovers;
+              obs_takeovers_->inc();
+              obs_takeover_ms_->observe(
+                  sim::to_ms(t_.engine->now() - crashed_at));
+              obs::tracer().complete(succ, obs_track_, "takeover",
+                                     crashed_at, t_.engine->now());
+            });
+      });
+}
+
+void FaultInjector::restart_node(net::NodeId n) {
+  os::Node* nd = node(n);
+  if (nd == nullptr || nd->alive()) return;
+  nd->reboot();
+  auto it = down_since_.find(n);
+  if (it != down_since_.end()) {
+    obs_downtime_ms_->observe(sim::to_ms(t_.engine->now() - it->second));
+    obs::tracer().complete(n, obs_track_, "node_down", it->second,
+                           t_.engine->now());
+    down_since_.erase(it);
+  }
+  ++stats_.node_restarts;
+  obs_restarts_->inc();
+  obs_nodes_down_->set(static_cast<double>(down_since_.size()));
+
+  if (policy_.auto_rebuild && t_.storage != nullptr &&
+      t_.storage->member_down(n) && t_.storage->redundant()) {
+    start_rebuild(n);
+  }
+}
+
+void FaultInjector::start_rebuild(net::NodeId member) {
+  os::Node* rep = node(member);
+  if (rep == nullptr || !rep->alive()) return;
+  ++stats_.rebuilds_started;
+  obs_rebuilds_->inc();
+  const sim::SimTime began = t_.engine->now();
+  t_.storage->reconstruct_member(
+      member, *rep,
+      [this, member, began] {
+        ++stats_.rebuilds_completed;
+        obs_rebuild_ms_->observe(sim::to_ms(t_.engine->now() - began));
+        obs::tracer().complete(member, obs_track_, "rebuild", began,
+                               t_.engine->now());
+        // The member may have crashed again while its stripe units were
+        // in flight; the freshly rebuilt disk is then lost with it.
+        if (node_down(member)) t_.storage->member_failed(member);
+      },
+      policy_.rebuild_bytes_per_member);
+}
+
+void FaultInjector::fail_link(net::NodeId n) {
+  if (t_.network == nullptr || !t_.network->link_up(n)) return;
+  t_.network->set_link_up(n, false);
+  ++stats_.link_downs;
+  obs_link_downs_->inc();
+  obs::tracer().instant(n, obs_track_, "link_down");
+}
+
+void FaultInjector::restore_link(net::NodeId n) {
+  if (t_.network == nullptr || t_.network->link_up(n)) return;
+  t_.network->set_link_up(n, true);
+  ++stats_.link_ups;
+  obs_link_ups_->inc();
+  obs::tracer().instant(n, obs_track_, "link_up");
+}
+
+void FaultInjector::fail_disk(net::NodeId n) {
+  if (t_.storage == nullptr || !t_.storage->is_member(n) ||
+      t_.storage->member_down(n)) {
+    return;
+  }
+  t_.storage->member_failed(n);
+  ++stats_.disk_fails;
+  obs_disk_fails_->inc();
+  obs::tracer().instant(n, obs_track_, "disk_fail");
+}
+
+void FaultInjector::replace_disk(net::NodeId n) {
+  if (t_.storage == nullptr || !t_.storage->member_down(n) ||
+      !t_.storage->redundant()) {
+    return;
+  }
+  os::Node* nd = node(n);
+  if (nd == nullptr || !nd->alive()) return;
+  ++stats_.disk_replacements;
+  obs_disk_replacements_->inc();
+  obs::tracer().instant(n, obs_track_, "disk_replace");
+  start_rebuild(n);
+}
+
+void FaultInjector::owner_returned(net::NodeId n) {
+  os::Node* nd = node(n);
+  if (nd == nullptr || !nd->alive()) return;  // nobody types on a dead box
+  nd->user_activity();
+  ++stats_.owner_returns;
+  obs_owner_returns_->inc();
+  obs::tracer().instant(n, obs_track_, "owner_return");
+  // GLUnix's 2-second console poll sees the activity and displaces any
+  // guest on its own; network RAM must give the DRAM back too.
+  if (t_.registry != nullptr && t_.registry->is_donor(n)) {
+    t_.registry->revoke_donor(n);
+    ++stats_.donor_revocations;
+  }
+}
+
+}  // namespace now::fault

@@ -38,6 +38,8 @@ Glunix::Glunix(proto::RpcLayer& rpc, std::vector<os::Node*> nodes,
       obs_gangs_completed_(
           &obs::metrics().counter("glunix.gangs_completed")),
       obs_gang_pauses_(&obs::metrics().counter("glunix.gang_pauses")),
+      obs_owner_evictions_(
+          &obs::metrics().counter("glunix.owner_evictions")),
       obs_idle_nodes_(&obs::metrics().gauge("glunix.idle_nodes")),
       obs_track_(obs::tracer().track("glunix")) {
   assert(!nodes_.empty() && master_ < nodes_.size());
@@ -202,6 +204,10 @@ void Glunix::poll_tick() {
             // Owner is back: the guest must leave, now — and this counts
             // against the machine's disturbance budget.
             ++info_[i].evictions_in_window;
+            ++stats_.owner_evictions;
+            obs_owner_evictions_->inc();
+            obs::tracer().instant(info_[i].node->id(), obs_track_,
+                                  "owner_eviction");
             displace(i, /*node_crashed=*/false);
           }
         },

@@ -66,6 +66,7 @@ struct GuestStats {
   std::uint64_t gangs_launched = 0;
   std::uint64_t gangs_completed = 0;
   std::uint64_t gang_pauses = 0;  // whole-gang suspensions for a migration
+  std::uint64_t owner_evictions = 0;  // guests displaced by a returning owner
 };
 
 class Glunix {
@@ -203,6 +204,7 @@ class Glunix {
   obs::Counter* obs_gangs_launched_;
   obs::Counter* obs_gangs_completed_;
   obs::Counter* obs_gang_pauses_;
+  obs::Counter* obs_owner_evictions_;
   obs::Gauge* obs_idle_nodes_;
   obs::TrackId obs_track_;
 

@@ -41,6 +41,17 @@ const Network::Port* Network::port(NodeId node) const {
   return &ports_[node];
 }
 
+void Network::set_link_up(NodeId node, bool up) {
+  Port* p = port(node);
+  assert(p != nullptr && "set_link_up on unattached node");
+  p->link_up = up;
+}
+
+bool Network::link_up(NodeId node) const {
+  const Port* p = port(node);
+  return p == nullptr || p->link_up;
+}
+
 void Network::release_rx(NodeId node, std::uint32_t bytes) {
   Port* p = port(node);
   if (p == nullptr || p->rx_capacity == 0) return;
@@ -51,6 +62,13 @@ void Network::release_rx(NodeId node, std::uint32_t bytes) {
 void Network::deliver_now(Packet&& pkt) {
   Port* p = port(pkt.dst);
   assert(p != nullptr && "send to unattached node");
+  if (!p->link_up || !link_up(pkt.src)) {
+    // An endpoint's cable is pulled: the packet vanishes on the wire.
+    ++stats_.link_drops;
+    obs_link_drops_->inc();
+    obs::tracer().instant(pkt.dst, obs_track_, "link_drop");
+    return;
+  }
   if (p->rx_capacity != 0 &&
       p->rx_used + pkt.size_bytes > p->rx_capacity) {
     ++stats_.packets_dropped;

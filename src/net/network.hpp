@@ -26,6 +26,9 @@ struct NetworkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped = 0;
+  /// Packets lost because an endpoint's link was administratively down
+  /// (fault injection); counted separately from buffer-overflow drops.
+  std::uint64_t link_drops = 0;
   std::uint64_t bytes_sent = 0;
   /// Wire time (send call to delivery) in microseconds.
   sim::Summary wire_time_us;
@@ -39,6 +42,7 @@ class Network {
         obs_sent_(&obs::metrics().counter("net.packets_sent")),
         obs_delivered_(&obs::metrics().counter("net.packets_delivered")),
         obs_dropped_(&obs::metrics().counter("net.packets_dropped")),
+        obs_link_drops_(&obs::metrics().counter("net.link_drops")),
         obs_wire_us_(&obs::metrics().summary("net.wire_time_us")),
         obs_track_(obs::tracer().track("net")) {}
   virtual ~Network() = default;
@@ -64,6 +68,15 @@ class Network {
   /// when the application reads).
   void release_rx(NodeId node, std::uint32_t bytes);
 
+  /// Administratively takes `node`'s link down (or back up) — the cable
+  /// is pulled but the machine keeps running.  While down, packets whose
+  /// source or destination is `node` are dropped at delivery time; upper
+  /// layers see silence and recover through their own timeout/retry.
+  void set_link_up(NodeId node, bool up);
+  /// True unless the node's link has been taken down (unattached nodes
+  /// report true: there is no cable to pull).
+  bool link_up(NodeId node) const;
+
   const NetworkStats& stats() const { return stats_; }
   sim::Engine& engine() { return engine_; }
 
@@ -73,6 +86,7 @@ class Network {
     std::uint32_t rx_capacity = 0;  // 0 = unbounded
     std::uint32_t rx_used = 0;
     bool in_use = false;
+    bool link_up = true;
   };
 
   /// Delivers (or drops, if the RX buffer is full) at the current simulated
@@ -89,6 +103,7 @@ class Network {
   obs::Counter* obs_sent_;
   obs::Counter* obs_delivered_;
   obs::Counter* obs_dropped_;
+  obs::Counter* obs_link_drops_;
   obs::Summary* obs_wire_us_;
   obs::TrackId obs_track_;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace now::netram {
 
 void IdleMemoryRegistry::add_donor(os::Node& node) {
@@ -25,12 +27,14 @@ void IdleMemoryRegistry::remove(net::NodeId id) {
 void IdleMemoryRegistry::revoke_donor(net::NodeId id) {
   if (!donors_.contains(id)) return;
   remove(id);
+  obs::metrics().counter("netram.donor_revocations").inc();
   for (const auto& obs : observers_) obs(id, /*graceful=*/true);
 }
 
 void IdleMemoryRegistry::donor_crashed(net::NodeId id) {
   if (!donors_.contains(id)) return;
   remove(id);
+  obs::metrics().counter("netram.donor_crashes").inc();
   for (const auto& obs : observers_) obs(id, /*graceful=*/false);
 }
 

@@ -12,6 +12,7 @@ AmLayer::AmLayer(NicMux& mux, AmParams params, std::uint64_t seed)
       obs_handled_(&obs::metrics().counter("am.handled")),
       obs_stalls_(&obs::metrics().counter("am.credit_stalls")),
       obs_epoch_bumps_(&obs::metrics().counter("am.epoch_bumps")),
+      obs_pair_failures_(&obs::metrics().counter("am.pair_failures")),
       obs_latency_us_(&obs::metrics().summary("am.msg_latency_us")),
       obs_track_(obs::tracer().track("proto")) {
   assert(params_.window > 0 && params_.mtu_bytes > 0);
@@ -196,6 +197,7 @@ void AmLayer::on_timeout(EndpointId src, EndpointId dst) {
   }
   if (++tx.timeouts > params_.max_retries) {
     ++stats_.pair_failures;
+    obs_pair_failures_->inc();
     obs_epoch_bumps_->inc();
     obs::tracer().instant(ep(src).node->id(), obs_track_, "epoch_bump");
     tx.failed = true;

@@ -241,6 +241,7 @@ class AmLayer {
   obs::Counter* obs_handled_;
   obs::Counter* obs_stalls_;
   obs::Counter* obs_epoch_bumps_;
+  obs::Counter* obs_pair_failures_;
   obs::Summary* obs_latency_us_;
   obs::TrackId obs_track_;
 };

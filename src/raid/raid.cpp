@@ -240,7 +240,17 @@ void SoftwareRaid::write(net::NodeId client, std::uint64_t offset,
   }
 }
 
+bool SoftwareRaid::is_member(net::NodeId id) const {
+  for (const os::Node* m : members_) {
+    if (m->id() == id) return true;
+  }
+  return false;
+}
+
 void SoftwareRaid::member_failed(net::NodeId id) {
+  // Non-members must not poison the survivor count the degraded-read
+  // fan-out is computed from.
+  if (!is_member(id)) return;
   failed_.insert(id);
 }
 

@@ -26,7 +26,9 @@ namespace now::raid {
 
 /// Abstract block storage: what the xFS log writes into.  Implemented by
 /// one SoftwareRaid and by StripeGroupArray (many RAIDs behind one address
-/// space).
+/// space).  Besides the data path, the interface carries the membership
+/// operations fault injection needs, so callers (Cluster, FaultInjector)
+/// treat either backend uniformly.
 class Storage {
  public:
   virtual ~Storage() = default;
@@ -35,6 +37,25 @@ class Storage {
                     std::uint32_t bytes, Done done) = 0;
   virtual void write(net::NodeId client, std::uint64_t offset,
                      std::uint32_t bytes, Done done) = 0;
+
+  // --- Membership / failure handling ---
+  /// True if `id`'s disk holds part of this address space.
+  virtual bool is_member(net::NodeId id) const = 0;
+  /// Marks member `id` lost (no-op for non-members).
+  virtual void member_failed(net::NodeId id) = 0;
+  /// True if member `id` is currently marked lost.
+  virtual bool member_down(net::NodeId id) const = 0;
+  /// True if any member is down.
+  virtual bool degraded() const = 0;
+  /// True if a lost member can be rebuilt from redundancy (RAID-5).
+  virtual bool redundant() const = 0;
+  /// Rebuilds lost member `failed` onto `replacement` with real
+  /// reconstruction traffic (survivor reads + replacement-disk writes);
+  /// `done` fires when the array is whole again.  Requires member_down and
+  /// redundant().
+  virtual void reconstruct_member(net::NodeId failed, os::Node& replacement,
+                                  Done done,
+                                  std::uint64_t rebuild_bytes_per_member) = 0;
 };
 
 enum class Level { kRaid0, kRaid5 };
@@ -87,8 +108,8 @@ class SoftwareRaid final : public Storage {
 
   /// Marks a member dead (its node crashed); subsequent reads touching it
   /// reconstruct from the others (RAID-5) — RAID-0 reads of it fail the
-  /// assertion, as RAID-0 has no redundancy.
-  void member_failed(net::NodeId id);
+  /// assertion, as RAID-0 has no redundancy.  No-op for non-members.
+  void member_failed(net::NodeId id) override;
 
   /// Rebuilds the failed member's contents onto `replacement` by reading
   /// every surviving member and writing reconstructed units.  `done` fires
@@ -96,7 +117,21 @@ class SoftwareRaid final : public Storage {
   void reconstruct(net::NodeId failed, os::Node& replacement, Done done,
                    std::uint64_t rebuild_bytes_per_member = 8 << 20);
 
-  bool degraded() const { return !failed_.empty(); }
+  bool is_member(net::NodeId id) const override;
+  bool member_down(net::NodeId id) const override {
+    return failed_.contains(id);
+  }
+  bool redundant() const override {
+    return params_.level == Level::kRaid5;
+  }
+  void reconstruct_member(net::NodeId failed, os::Node& replacement,
+                          Done done,
+                          std::uint64_t rebuild_bytes_per_member) override {
+    reconstruct(failed, replacement, std::move(done),
+                rebuild_bytes_per_member);
+  }
+
+  bool degraded() const override { return !failed_.empty(); }
   std::size_t width() const { return members_.size(); }
   const RaidStats& stats() const { return stats_; }
   const RaidParams& params() const { return params_; }

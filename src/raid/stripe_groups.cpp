@@ -92,6 +92,37 @@ void StripeGroupArray::member_failed(net::NodeId id) {
   }
 }
 
+bool StripeGroupArray::is_member(net::NodeId id) const {
+  for (const auto& g : groups_) {
+    if (g->is_member(id)) return true;
+  }
+  return false;
+}
+
+bool StripeGroupArray::member_down(net::NodeId id) const {
+  for (const auto& g : groups_) {
+    if (g->member_down(id)) return true;
+  }
+  return false;
+}
+
+bool StripeGroupArray::redundant() const {
+  return !groups_.empty() && groups_.front()->redundant();
+}
+
+void StripeGroupArray::reconstruct_member(
+    net::NodeId failed, os::Node& replacement, Done done,
+    std::uint64_t rebuild_bytes_per_member) {
+  for (auto& g : groups_) {
+    if (g->member_down(failed)) {
+      g->reconstruct_member(failed, replacement, std::move(done),
+                            rebuild_bytes_per_member);
+      return;
+    }
+  }
+  assert(false && "reconstruct_member: no group holds this failed member");
+}
+
 bool StripeGroupArray::degraded() const {
   for (const auto& g : groups_) {
     if (g->degraded()) return true;

@@ -39,10 +39,19 @@ class StripeGroupArray final : public Storage {
   void write(net::NodeId client, std::uint64_t offset, std::uint32_t bytes,
              Done done) override;
 
-  /// Propagates a member failure to its group.
-  void member_failed(net::NodeId id);
+  /// Propagates a member failure to its group (no-op for non-members,
+  /// e.g. nodes in a dropped trailing short group).
+  void member_failed(net::NodeId id) override;
   /// True if any group is running degraded.
-  bool degraded() const;
+  bool degraded() const override;
+
+  bool is_member(net::NodeId id) const override;
+  bool member_down(net::NodeId id) const override;
+  bool redundant() const override;
+  /// Routes the rebuild to the group that lost `failed`.
+  void reconstruct_member(net::NodeId failed, os::Node& replacement,
+                          Done done,
+                          std::uint64_t rebuild_bytes_per_member) override;
 
   std::size_t group_count() const { return groups_.size(); }
   const SoftwareRaid& group(std::size_t g) const { return *groups_[g]; }

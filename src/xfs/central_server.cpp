@@ -19,10 +19,21 @@ CentralServerFs::CentralServerFs(proto::RpcLayer& rpc, os::Node& server,
                                  std::vector<os::Node*> clients,
                                  CentralFsParams params)
     : rpc_(rpc), server_(server), params_(params),
-      server_cache_(params.server_cache_blocks) {
+      server_cache_(params.server_cache_blocks),
+      obs_reads_(&obs::metrics().counter("cfs.reads")),
+      obs_writes_(&obs::metrics().counter("cfs.writes")),
+      obs_failed_ops_(&obs::metrics().counter("cfs.failed_ops")),
+      obs_track_(obs::tracer().track("cfs")) {
   for (os::Node* c : clients) {
     clients_.emplace(c->id(), ClientState(params_.client_cache_blocks));
   }
+}
+
+double CentralServerFs::availability() const {
+  const std::uint64_t issued = stats_.reads + stats_.writes;
+  if (issued == 0) return 1.0;
+  return 1.0 - static_cast<double>(stats_.failed_ops) /
+                   static_cast<double>(issued);
 }
 
 void CentralServerFs::start() { install_server(); }
@@ -64,6 +75,7 @@ void CentralServerFs::install_server() {
 void CentralServerFs::read(net::NodeId client, BlockId b,
                            std::function<void(bool)> done) {
   ++stats_.reads;
+  obs_reads_->inc();
   ClientState& cs = cstate(client);
   if (cs.cache.touch(b)) {
     ++stats_.local_hits;
@@ -85,8 +97,10 @@ void CentralServerFs::read(net::NodeId client, BlockId b,
         done(true);
       },
       kOpTimeout,
-      [this, done]() mutable {
+      [this, client, done]() mutable {
         ++stats_.failed_ops;  // the building just lost its file system
+        obs_failed_ops_->inc();
+        obs::tracer().instant(client, obs_track_, "op_failed");
         done(false);
       });
 }
@@ -94,13 +108,16 @@ void CentralServerFs::read(net::NodeId client, BlockId b,
 void CentralServerFs::write(net::NodeId client, BlockId b,
                             std::function<void(bool)> done) {
   ++stats_.writes;
+  obs_writes_->inc();
   cstate(client).cache.insert(b);
   rpc_.call(
       client, server_.id(), kCfsWrite, params_.block_bytes + 48,
       CfsReq{b, true},
       [done](std::any) mutable { done(true); }, kOpTimeout,
-      [this, done]() mutable {
+      [this, client, done]() mutable {
         ++stats_.failed_ops;
+        obs_failed_ops_->inc();
+        obs::tracer().instant(client, obs_track_, "op_failed");
         done(false);
       });
 }

@@ -16,6 +16,8 @@
 #include <unordered_set>
 
 #include "coopcache/lru.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/rpc.hpp"
 #include "xfs/log.hpp"
 
@@ -63,6 +65,10 @@ class CentralServerFs {
   void write(net::NodeId client, BlockId b, std::function<void(bool)> done);
 
   const CentralFsStats& stats() const { return stats_; }
+  /// Fraction of issued operations that did NOT fail (1.0 before any op).
+  /// This is the central server's availability story in one number — the
+  /// xFS-vs-central comparison reports it on both sides.
+  double availability() const;
   net::NodeId server_id() const { return server_.id(); }
 
  private:
@@ -82,6 +88,10 @@ class CentralServerFs {
   /// Blocks that exist on the server disk (written at least once).
   std::unordered_set<BlockId> on_disk_;
   CentralFsStats stats_;
+  obs::Counter* obs_reads_;
+  obs::Counter* obs_writes_;
+  obs::Counter* obs_failed_ops_;
+  obs::TrackId obs_track_;
 };
 
 }  // namespace now::xfs

@@ -56,6 +56,7 @@ Xfs::Xfs(proto::RpcLayer& rpc, LogStore& log, std::vector<os::Node*> nodes,
       obs_invalidations_(&obs::metrics().counter("xfs.invalidations")),
       obs_transfers_(&obs::metrics().counter("xfs.ownership_transfers")),
       obs_retries_(&obs::metrics().counter("xfs.op_retries")),
+      obs_failed_ops_(&obs::metrics().counter("xfs.failed_ops")),
       obs_flushes_(&obs::metrics().counter("xfs.segments_flushed")),
       obs_takeovers_(&obs::metrics().counter("xfs.manager.takeovers")),
       obs_read_us_(&obs::metrics().summary("xfs.read_latency_us")),
@@ -72,6 +73,13 @@ Xfs::Xfs(proto::RpcLayer& rpc, LogStore& log, std::vector<os::Node*> nodes,
 
 net::NodeId Xfs::manager_of(BlockId b) const {
   return ring_[b % ring_.size()];
+}
+
+bool Xfs::is_manager(net::NodeId id) const {
+  for (net::NodeId m : ring_) {
+    if (m == id) return true;
+  }
+  return false;
 }
 
 os::Node* Xfs::node(net::NodeId id) const {
@@ -416,7 +424,10 @@ void Xfs::do_read(net::NodeId c, BlockId b, Done done,
   }
   if (attempts > params_.max_op_retries) {
     // Out of patience (manager unreachable): surface as completion; a real
-    // FS would return EIO here.
+    // FS would return EIO here.  Counted so availability is measurable.
+    ++stats_.failed_ops;
+    obs_failed_ops_->inc();
+    obs::tracer().instant(c, obs_track_, "op_failed");
     done();
     return;
   }
@@ -495,6 +506,9 @@ void Xfs::do_write(net::NodeId c, BlockId b, Done done,
     return;
   }
   if (attempts > params_.max_op_retries) {
+    ++stats_.failed_ops;
+    obs_failed_ops_->inc();
+    obs::tracer().instant(c, obs_track_, "op_failed");
     done();
     return;
   }

@@ -68,6 +68,7 @@ struct XfsStats {
   std::uint64_t segments_flushed = 0;
   std::uint64_t evict_notices = 0;
   std::uint64_t op_retries = 0;
+  std::uint64_t failed_ops = 0;  // retry budget exhausted (EIO)
   std::uint64_t lost_dirty_blocks = 0;  // owner crashed before flush
   std::uint64_t manager_takeovers = 0;
   /// End-to-end operation latencies, microseconds.
@@ -113,6 +114,9 @@ class Xfs {
                         Done done);
 
   net::NodeId manager_of(BlockId b) const;
+  /// True if `id` currently holds manager duty for any slice of the block
+  /// space (fault injection asks before arranging a takeover).
+  bool is_manager(net::NodeId id) const;
   const XfsStats& stats() const { return stats_; }
   /// Blocks currently cached by `client` (test introspection).
   std::size_t cached_blocks(net::NodeId client) const;
@@ -183,6 +187,7 @@ class Xfs {
   obs::Counter* obs_invalidations_;
   obs::Counter* obs_transfers_;
   obs::Counter* obs_retries_;
+  obs::Counter* obs_failed_ops_;
   obs::Counter* obs_flushes_;
   obs::Counter* obs_takeovers_;
   obs::Summary* obs_read_us_;
