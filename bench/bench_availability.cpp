@@ -69,11 +69,19 @@ fault::FaultPlan outage_plan(sim::Duration period) {
 // until the horizon; the run then drains in-flight ops.  Every op ends —
 // with success, or with a timeout/retry-exhaustion failure — so
 // issued - ok is exactly the failure count.
-DesignResult run_central(sim::Duration period, exp::RunContext& ctx) {
+DesignResult run_central(sim::Duration period, exp::RunContext& ctx,
+                         unsigned threads) {
   ClusterConfig cfg;
   cfg.workstations = kClients + 1;  // +1 server
   cfg.with_glunix = false;
   cfg.fault_plan = outage_plan(period);
+  // --threads is accepted but the workload is not partition-clean: the
+  // CentralServerFs driver lives outside the cluster and touches many
+  // nodes' requests per event, so node-local execution would race.
+  // kAllGlobal keeps every event on the serial path — output is
+  // byte-identical at any --threads value by construction.
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kAllGlobal;
   cfg.run = &ctx;
   Cluster c(cfg);
   xfs::CentralFsParams p;
@@ -122,7 +130,8 @@ DesignResult run_central(sim::Duration period, exp::RunContext& ctx) {
   return r;
 }
 
-DesignResult run_xfs(sim::Duration period, exp::RunContext& ctx) {
+DesignResult run_xfs(sim::Duration period, exp::RunContext& ctx,
+                     unsigned threads) {
   ClusterConfig cfg;
   cfg.workstations = kClients + 1;
   cfg.with_glunix = false;
@@ -130,6 +139,9 @@ DesignResult run_xfs(sim::Duration period, exp::RunContext& ctx) {
   cfg.xfs.client_cache_blocks = 64;
   cfg.stripe_group_size = 0;  // one RAID-5 across all seventeen disks
   cfg.fault_plan = outage_plan(period);
+  // xFS manager/RAID traffic spans nodes; see run_central's note.
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kAllGlobal;
   cfg.run = &ctx;
   Cluster c(cfg);
 
@@ -203,8 +215,8 @@ int main(int argc, char** argv) {
 
   const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
     Point p;
-    p.central = run_central(periods[ctx.task_index], ctx);
-    p.xfs = run_xfs(periods[ctx.task_index], ctx);
+    p.central = run_central(periods[ctx.task_index], ctx, sweep.threads());
+    p.xfs = run_xfs(periods[ctx.task_index], ctx, sweep.threads());
     return p;
   });
 

@@ -216,6 +216,21 @@ inline unsigned parse_jobs(int argc, char** argv) {
   return 0;
 }
 
+/// `--threads N` (default 1): worker threads *inside* each simulation —
+/// ClusterConfig::threads for benches whose cluster supports partitioned
+/// execution.  1 = the serial engine; every bench's stdout is
+/// byte-identical at --threads 1 to builds that predate the flag.
+inline unsigned parse_threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const unsigned n =
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      return n == 0 ? 1 : n;
+    }
+  }
+  return 1;
+}
+
 /// Drives a bench's sweep points through now::exp::run_sweep behind the
 /// --jobs / --sweep-json / --seed flags.
 ///
@@ -229,7 +244,8 @@ inline unsigned parse_jobs(int argc, char** argv) {
 class Sweep {
  public:
   Sweep(int argc, char** argv, std::string benchmark)
-      : benchmark_(std::move(benchmark)), jobs_(parse_jobs(argc, argv)) {
+      : benchmark_(std::move(benchmark)), jobs_(parse_jobs(argc, argv)),
+        threads_(parse_threads(argc, argv)) {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--sweep-json") == 0) path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--seed") == 0) {
@@ -241,8 +257,22 @@ class Sweep {
   Sweep(const Sweep&) = delete;
   Sweep& operator=(const Sweep&) = delete;
 
-  /// Workers the sweep will actually use.
-  unsigned jobs() const { return now::exp::effective_jobs(jobs_); }
+  /// Workers the sweep will actually use.  With --threads > 1, capped so
+  /// that jobs x threads stays within the machine: sweep-level and
+  /// intra-run parallelism multiply, and oversubscribing both ways is
+  /// strictly slower than either alone.
+  unsigned jobs() const {
+    unsigned j = now::exp::effective_jobs(jobs_);
+    if (threads_ > 1) {
+      unsigned hw = std::thread::hardware_concurrency();
+      if (hw == 0) hw = 1;
+      const unsigned cap = hw / threads_ > 0 ? hw / threads_ : 1;
+      if (j > cap) j = cap;
+    }
+    return j;
+  }
+  /// Per-simulation worker threads (--threads, default 1).
+  unsigned threads() const { return threads_; }
   std::uint64_t base_seed() const { return base_seed_; }
 
   /// Runs fn(ctx) for one point per entry of `names` (the point labels in
@@ -293,6 +323,7 @@ class Sweep {
   std::string benchmark_;
   std::string path_;
   unsigned jobs_ = 0;
+  unsigned threads_ = 1;
   std::uint64_t base_seed_ = 1;
   std::size_t next_index_ = 0;
   double wall_ms_ = 0;

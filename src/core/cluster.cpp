@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/presets.hpp"
@@ -45,13 +46,63 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   am_ = std::make_unique<proto::AmLayer>(*mux_, config_.am, config_.seed);
   rpc_ = std::make_unique<proto::RpcLayer>(*am_);
 
+  // Partitioned execution (opt-in): each node's events run on a lane of a
+  // ParallelEngine instead of the cluster engine.  Only workloads whose
+  // nodes interact exclusively through the network qualify — the asserts
+  // spell the contract out; release builds fall back to serial if it does
+  // not hold rather than race.
+  unsigned threads = config_.threads == 0 ? 1 : config_.threads;
+  if (config_.run != nullptr && config_.run->thread_budget > 0) {
+    threads = std::min(threads, config_.run->thread_budget);
+  }
+  threads = std::min(threads, config_.workstations);
+  if (config_.partitioning == Partitioning::kNodeLocal && threads > 1) {
+    const sim::Duration lookahead = network_->min_latency();
+    assert(lookahead > 0 &&
+           "kNodeLocal needs a switched fabric: shared media (kEthernet) "
+           "have zero safe lookahead");
+    assert(!config_.with_glunix && !config_.with_xfs &&
+           !config_.with_netram_registry &&
+           "kNodeLocal requires a partition-clean workload: cluster "
+           "services touch many nodes' state per event");
+    assert(config_.am.loss_probability == 0.0 &&
+           "AM loss injection draws from one RNG shared across lanes");
+    const bool clean = lookahead > 0 && !config_.with_glunix &&
+                       !config_.with_xfs && !config_.with_netram_registry &&
+                       config_.am.loss_probability == 0.0;
+    if (clean) {
+      sim::ParallelConfig pc;
+      pc.threads = threads;
+      pc.nodes = config_.workstations;
+      pc.lookahead = lookahead;
+      pc.relaxed_sync = config_.relaxed_sync;
+      // Workers must resolve obs::metrics()/obs::tracer()/NOW_LOG to the
+      // same instances as the constructing thread (which may be inside a
+      // sweep's ScopedRunContext), so capture the ambient bindings now and
+      // install them on every lane.
+      obs::MetricsRegistry* m = &obs::metrics();
+      obs::Tracer* tr = &obs::tracer();
+      sim::LogConfig* lg =
+          config_.run != nullptr ? &config_.run->log : nullptr;
+      pc.worker_init = [m, tr, lg] {
+        obs::set_thread_metrics(m);
+        obs::set_thread_tracer(tr);
+        if (lg != nullptr) sim::set_thread_log_config(lg);
+      };
+      pe_ = std::make_unique<sim::ParallelEngine>(engine_, pc);
+    }
+  }
+
   for (std::uint32_t i = 0; i < config_.workstations; ++i) {
     os::NodeParams p = config_.node;
     if (p.cpu.seed == 0) p.cpu.seed = config_.seed * 1000 + i + 1;
-    nodes_.push_back(std::make_unique<os::Node>(engine_, i, p));
+    sim::Engine& node_engine = pe_ ? pe_->engine_for(i) : engine_;
+    nodes_.push_back(std::make_unique<os::Node>(node_engine, i, p));
     mux_->attach_node(*nodes_.back());
     rpc_->bind(*nodes_.back());
   }
+  // After every node is attached, so backends pre-size per-node state.
+  if (pe_) network_->set_domain(pe_.get());
 
   if (config_.with_glunix) {
     glunix_ = std::make_unique<glunix::Glunix>(*rpc_, node_ptrs(),

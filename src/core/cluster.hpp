@@ -35,11 +35,26 @@
 #include "raid/raid.hpp"
 #include "raid/stripe_groups.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel_engine.hpp"
 #include "xfs/xfs.hpp"
 
 namespace now {
 
 enum class Fabric { kEthernet, kAtm, kFddiMedusa, kMyrinet };
+
+/// Where a node's events execute in a multi-threaded run.
+enum class Partitioning {
+  /// Everything runs on the cluster's own engine — the serial path,
+  /// regardless of `threads`.  Always byte-identical to a 1-thread run;
+  /// the only safe choice when nodes share state outside the simulated
+  /// network (cluster services, external driver objects).
+  kAllGlobal,
+  /// Each node's events run on its partition lane; cross-node interaction
+  /// flows through the network's conservative-lookahead machinery.
+  /// Requires a switched fabric (positive one-way latency), no shared
+  /// cluster services (glunix/xfs/netram), and no AM loss injection.
+  kNodeLocal,
+};
 
 struct ClusterConfig {
   std::uint32_t workstations = 32;
@@ -72,6 +87,18 @@ struct ClusterConfig {
   fault::FaultPolicy fault_policy;
 
   std::uint64_t seed = 1;
+
+  /// Worker threads for intra-run parallel execution.  Takes effect only
+  /// with partitioning = kNodeLocal; clamped to the workstation count and
+  /// to the run context's thread_budget (when part of a sweep).  1 = the
+  /// serial engine, byte-identical to every release so far.
+  unsigned threads = 1;
+  Partitioning partitioning = Partitioning::kAllGlobal;
+  /// Epoch-width multiplier for partitioned runs (>= 1.0).  1.0 is strict
+  /// conservative execution — results independent of the thread count.
+  /// Larger values trade that guarantee for fewer barriers (DARSIM-style);
+  /// see DESIGN.md §12 before touching it.
+  double relaxed_sync = 1.0;
 
   /// This run's isolation context, when the cluster is one task of a
   /// parallel sweep (exp::run_sweep sets it up).  When non-null, the
@@ -138,10 +165,30 @@ class Cluster {
         .export_chrome_json(path);
   }
 
-  /// Drives the simulation.
-  void run() { engine_.run(); }
-  void run_for(sim::Duration d) { engine_.run_until(engine_.now() + d); }
-  void run_until(sim::SimTime t) { engine_.run_until(t); }
+  /// Drives the simulation — through the partitioned runner when one was
+  /// configured, else the serial engine.
+  void run() {
+    if (pe_) {
+      pe_->run();
+    } else {
+      engine_.run();
+    }
+  }
+  void run_for(sim::Duration d) { run_until(engine_.now() + d); }
+  void run_until(sim::SimTime t) {
+    if (pe_) {
+      pe_->run_until(t);
+    } else {
+      engine_.run_until(t);
+    }
+  }
+
+  /// Lanes actually executing this cluster: 1 serially, the (possibly
+  /// clamped) thread count under kNodeLocal partitioning.
+  unsigned effective_threads() const { return pe_ ? pe_->lanes() : 1; }
+  /// The partitioned runner, when one was configured (epoch/message
+  /// counters for tests and benches).
+  sim::ParallelEngine* parallel_engine() { return pe_.get(); }
 
   /// Crashes workstation `i` and propagates the failure to every enabled
   /// subsystem (RAID membership, xFS directory, network-RAM registry).
@@ -153,6 +200,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   sim::Engine engine_;
+  std::unique_ptr<sim::ParallelEngine> pe_;  // kNodeLocal && threads > 1
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<proto::NicMux> mux_;
   std::unique_ptr<proto::AmLayer> am_;

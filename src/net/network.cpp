@@ -62,27 +62,38 @@ void Network::release_rx(NodeId node, std::uint32_t bytes) {
 void Network::deliver_now(Packet&& pkt) {
   Port* p = port(pkt.dst);
   assert(p != nullptr && "send to unattached node");
+  // "Now" is the destination's clock: in partitioned runs this event
+  // executes on the destination lane, whose engine carries the local time.
+  const sim::SimTime at = engine_for(pkt.dst).now();
   if (!p->link_up || !link_up(pkt.src)) {
     // An endpoint's cable is pulled: the packet vanishes on the wire.
-    ++stats_.link_drops;
+    {
+      sim::SpinGuard g(stats_lock_);
+      ++stats_.link_drops;
+    }
     obs_link_drops_->inc();
-    obs::tracer().instant(pkt.dst, obs_track_, "link_drop");
+    obs::tracer().instant_at(pkt.dst, obs_track_, "link_drop", at);
     return;
   }
   if (p->rx_capacity != 0 &&
       p->rx_used + pkt.size_bytes > p->rx_capacity) {
-    ++stats_.packets_dropped;
+    {
+      sim::SpinGuard g(stats_lock_);
+      ++stats_.packets_dropped;
+    }
     obs_dropped_->inc();
-    obs::tracer().instant(pkt.dst, obs_track_, "rx_drop");
+    obs::tracer().instant_at(pkt.dst, obs_track_, "rx_drop", at);
     return;
   }
   if (p->rx_capacity != 0) p->rx_used += pkt.size_bytes;
-  ++stats_.packets_delivered;
-  stats_.wire_time_us.add(sim::to_us(engine_.now() - pkt.sent_at));
+  {
+    sim::SpinGuard g(stats_lock_);
+    ++stats_.packets_delivered;
+    stats_.wire_time_us.add(sim::to_us(at - pkt.sent_at));
+  }
   obs_delivered_->inc();
-  obs_wire_us_->observe(sim::to_us(engine_.now() - pkt.sent_at));
-  obs::tracer().complete(pkt.dst, obs_track_, "pkt", pkt.sent_at,
-                         engine_.now());
+  obs_wire_us_->observe(sim::to_us(at - pkt.sent_at));
+  obs::tracer().complete(pkt.dst, obs_track_, "pkt", pkt.sent_at, at);
   p->handler(std::move(pkt));
 }
 

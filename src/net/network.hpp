@@ -13,6 +13,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/exec_domain.hpp"
+#include "sim/spinlock.hpp"
 #include "sim/stats.hpp"
 
 namespace now::net {
@@ -80,6 +82,29 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   sim::Engine& engine() { return engine_; }
 
+  /// Installs the execution domain for partitioned runs (nullptr = serial).
+  /// Must be called after every node is attached and before the run starts;
+  /// backends pre-size their per-node state here so no container grows once
+  /// lanes are live.
+  void set_domain(sim::ExecDomain* domain) {
+    domain_ = domain;
+    on_domain_set();
+  }
+  sim::ExecDomain* domain() { return domain_; }
+
+  /// The engine that `node`'s events run on: its partition lane when a
+  /// domain is installed, the cluster engine otherwise.  Every site that
+  /// reads "now" or schedules work *at a node* goes through this.
+  sim::Engine& engine_for(NodeId node) {
+    return domain_ != nullptr ? domain_->engine_for(node) : engine_;
+  }
+
+  /// Minimum one-way latency between distinct nodes — the upper bound for a
+  /// conservative lookahead window.  0 means "no safe lookahead" (shared
+  /// media where one node's send instantly contends with every other's);
+  /// such fabrics cannot be partitioned.
+  virtual sim::Duration min_latency() const { return 0; }
+
  protected:
   struct Port {
     DeliveryHandler handler;
@@ -90,14 +115,26 @@ class Network {
   };
 
   /// Delivers (or drops, if the RX buffer is full) at the current simulated
-  /// time.  Subclasses call this from their scheduled completion events.
+  /// time.  Subclasses call this from their scheduled completion events; in
+  /// a partitioned run those events execute on the destination's lane, so
+  /// Port state stays lane-confined.
   void deliver_now(Packet&& pkt);
+
+  /// Hook for backends to react to set_domain (pre-sizing per-node state).
+  virtual void on_domain_set() {}
 
   Port* port(NodeId node);
   const Port* port(NodeId node) const;
+  /// One past the highest attached node id (backends pre-size per-node
+  /// state to this at set_domain time).
+  std::size_t port_count() const { return ports_.size(); }
 
   sim::Engine& engine_;
+  sim::ExecDomain* domain_ = nullptr;
   NetworkStats stats_;
+  // Guards stats_: sends mutate it from source lanes, deliveries from
+  // destination lanes.  Uncontended in serial runs.
+  sim::SpinLock stats_lock_;
   // Cached obs handles (resolved once here; hot-path updates are one
   // dereference plus the global enable branch).
   obs::Counter* obs_sent_;

@@ -29,20 +29,64 @@ sim::Duration SwitchedNetwork::unloaded_transit(std::uint32_t bytes) const {
   return (params_.cut_through ? ser : 2 * ser) + params_.latency;
 }
 
+// Partitioned runs must not grow per-node vectors (or register gauges) from
+// concurrent lanes, so everything lazy is materialized up front.  Serial
+// runs keep the lazy behavior: their metric dumps list only the links that
+// actually carried traffic, exactly as before.
+void SwitchedNetwork::on_domain_set() {
+  if (domain() == nullptr) return;
+  const NodeId n = static_cast<NodeId>(port_count());
+  if (n == 0) return;
+  uplink(n - 1);
+  downlink(n - 1);
+  for (NodeId i = 0; i < n; ++i) downlink_queue_gauge(i);
+}
+
 void SwitchedNetwork::send(Packet pkt) {
   assert(attached(pkt.src) && attached(pkt.dst));
-  ++stats_.packets_sent;
-  stats_.bytes_sent += pkt.size_bytes;
-  pkt.sent_at = engine_.now();
+  sim::Engine& src_engine = engine_for(pkt.src);
+  pkt.sent_at = src_engine.now();
+  {
+    sim::SpinGuard g(stats_lock_);
+    ++stats_.packets_sent;
+    stats_.bytes_sent += pkt.size_bytes;
+  }
+  obs_sent_->inc();
 
   const sim::Duration ser = params_.serialization(pkt.size_bytes);
 
-  // Serialize onto the source uplink (FIFO behind earlier packets).
+  // Serialize onto the source uplink (FIFO behind earlier packets).  The
+  // uplink belongs to the sender, so under partitioning this state is
+  // confined to the source lane.
   LinkState& up = uplink(pkt.src);
-  const sim::SimTime up_start = std::max(engine_.now(), up.busy_until);
+  const sim::SimTime up_start = std::max(pkt.sent_at, up.busy_until);
   const sim::SimTime up_done = up_start + ser;
   up.busy_until = up_done;
 
+  if (domain() != nullptr) {
+    // Two-phase delivery: the downlink belongs to the receiver, and its
+    // busy horizon orders *all* senders' packets, so the reservation is
+    // posted as a cross-lane message and applied at the next barrier in
+    // the deterministic merge order (sent_at, src_node, seq) — replaying
+    // the serial send-order evolution of busy_until regardless of which
+    // lane ran first.  Same-lane sends take this path too; bypassing the
+    // mailbox would make contention order depend on the partition layout.
+    domain()->post(
+        pkt.src, pkt.dst, pkt.sent_at,
+        [this, up_start, up_done, ser, p = std::move(pkt)]() mutable {
+          finish_send(std::move(p), up_start, up_done, ser);
+        });
+    return;
+  }
+  finish_send(std::move(pkt), up_start, up_done, ser);
+}
+
+// Downlink contention + delivery scheduling.  Serial: called inline from
+// send().  Partitioned: called at the epoch barrier; the delivery time is
+// always >= sent_at + latency >= the epoch bound, so scheduling on the
+// destination lane never lands in its past.
+void SwitchedNetwork::finish_send(Packet pkt, sim::SimTime up_start,
+                                  sim::SimTime up_done, sim::Duration ser) {
   LinkState& down = downlink(pkt.dst);
   sim::SimTime down_done;
   if (params_.cut_through) {
@@ -59,18 +103,17 @@ void SwitchedNetwork::send(Packet pkt) {
     down_done = down_start + ser;
   }
   down.busy_until = down_done;
-  obs_sent_->inc();
   if (obs::enabled()) {
     // Backlog on the destination link: how far its busy horizon extends
-    // beyond now (0 when uncontended).
+    // beyond the send instant (0 when uncontended).
     downlink_queue_gauge(pkt.dst).set(
-        sim::to_us(down_done - engine_.now() - ser));
+        sim::to_us(down_done - pkt.sent_at - ser));
   }
 
-  engine_.schedule_at(down_done,
-                      [this, p = std::move(pkt)]() mutable {
-                        deliver_now(std::move(p));
-                      });
+  const NodeId dst = pkt.dst;
+  engine_for(dst).schedule_at(down_done, [this, p = std::move(pkt)]() mutable {
+    deliver_now(std::move(p));
+  });
 }
 
 }  // namespace now::net

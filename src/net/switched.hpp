@@ -22,15 +22,25 @@ class SwitchedNetwork final : public Network {
 
   const FabricParams& params() const { return params_; }
 
+  /// The fabric crossing time: a packet handed to the wire at t cannot
+  /// start occupying its destination link before t + latency, which makes
+  /// `latency` the conservative lookahead bound for partitioned runs.
+  sim::Duration min_latency() const override { return params_.latency; }
+
   /// Time a minimal `bytes`-byte packet takes wire-to-wire with no
   /// contention: serialization (twice: uplink + downlink) + fabric latency.
   sim::Duration unloaded_transit(std::uint32_t bytes) const;
+
+ protected:
+  void on_domain_set() override;
 
  private:
   struct LinkState {
     sim::SimTime busy_until = 0;
   };
 
+  void finish_send(Packet pkt, sim::SimTime up_start, sim::SimTime up_done,
+                   sim::Duration ser);
   LinkState& uplink(NodeId n);
   LinkState& downlink(NodeId n);
   obs::Gauge& downlink_queue_gauge(NodeId n);

@@ -14,12 +14,17 @@
 // dumps.  Disabling observability (set_enabled(false), or compiling with
 // -DNOW_OBS_DISABLED) reduces every update to a dead branch.
 //
-// Threading model: a MetricsRegistry (like the Engine whose events update
-// it) is engine-confined — one simulation, one thread, no locks.  The
+// Threading model: the registry's *structure* (instrument registration,
+// dumps) is engine-confined — one simulation, one thread — and the
 // process-wide default returned by obs::metrics() can be rebound per
 // thread (set_thread_metrics), which is how now::exp gives each of N
-// concurrent simulations its own registry while every instrumentation
-// site keeps calling plain obs::metrics().
+// concurrent simulations its own registry.  Instrument *updates* through
+// cached handles are additionally thread-safe, because one partitioned
+// simulation (sim::ParallelEngine) updates a single registry from several
+// lanes at once: Counter/Gauge are relaxed atomics (their final values are
+// exact sums/last-stores either way) and Summary/Histogram serialize
+// observe() behind a spinlock.  Registration stays single-threaded:
+// partitioned components resolve every path before the run starts.
 #pragma once
 
 #include <atomic>
@@ -30,6 +35,7 @@
 #include <string_view>
 #include <variant>
 
+#include "sim/spinlock.hpp"
 #include "sim/stats.hpp"
 
 namespace now::obs {
@@ -57,55 +63,82 @@ inline void set_enabled(bool on) {
 }
 
 /// Monotonic event count ("packets dropped", "segments cleaned").
+/// Updates are relaxed atomic adds: lanes of a partitioned run may bump the
+/// same counter concurrently, and the total is exact regardless of order.
 class Counter {
  public:
+  Counter() = default;
+  Counter(const Counter& o) : v_(o.value()) {}
+  Counter(Counter&& o) noexcept : v_(o.value()) {}
   void inc(std::uint64_t by = 1) {
-    if (enabled()) v_ += by;
+    if (enabled()) v_.fetch_add(by, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return v_; }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
 };
 
 /// Instantaneous level ("run-queue length", "log utilization").
 class Gauge {
  public:
+  Gauge() = default;
+  Gauge(const Gauge& o) : v_(o.value()) {}
+  Gauge(Gauge&& o) noexcept : v_(o.value()) {}
   void set(double v) {
-    if (enabled()) v_ = v;
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
   }
   void add(double d) {
-    if (enabled()) v_ += d;
+    if (!enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return v_; }
+  double value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  double v_ = 0.0;
+  std::atomic<double> v_{0.0};
 };
 
 /// Streaming distribution without percentile queries (min/mean/max/stddev).
+/// observe() serializes behind a spinlock; count/min/max stay exact under
+/// partitioned execution, while sum-derived moments (mean/stddev) depend on
+/// floating-point accumulation order — see DESIGN.md §12.
 class Summary {
  public:
+  Summary() = default;
+  Summary(const Summary& o) : s_(o.s_) {}
+  Summary(Summary&& o) noexcept : s_(o.s_) {}
   void observe(double x) {
-    if (enabled()) s_.add(x);
+    if (!enabled()) return;
+    sim::SpinGuard g(lock_);
+    s_.add(x);
   }
   const sim::Summary& value() const { return s_; }
 
  private:
   sim::Summary s_;
+  mutable sim::SpinLock lock_;
 };
 
-/// Log-binned distribution with percentile queries.
+/// Log-binned distribution with percentile queries.  Same locking
+/// discipline as Summary; bin counts are exact under partitioning.
 class Histogram {
  public:
   explicit Histogram(double lo = 1.0, double growth = 1.05) : h_(lo, growth) {}
+  Histogram(const Histogram& o) : h_(o.h_) {}
+  Histogram(Histogram&& o) noexcept : h_(o.h_) {}
   void observe(double x) {
-    if (enabled()) h_.add(x);
+    if (!enabled()) return;
+    sim::SpinGuard g(lock_);
+    h_.add(x);
   }
   const sim::Histogram& value() const { return h_; }
 
  private:
   sim::Histogram h_;
+  mutable sim::SpinLock lock_;
 };
 
 /// Hierarchical instrument registry keyed by dotted paths.

@@ -51,6 +51,7 @@ void Tracer::clear() {
 }
 
 TrackId Tracer::track(std::string_view module) {
+  sim::SpinGuard g(lock_);
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (tracks_[i] == module) return static_cast<TrackId>(i);
   }
@@ -59,6 +60,7 @@ TrackId Tracer::track(std::string_view module) {
 }
 
 void Tracer::push(Event e) {
+  sim::SpinGuard g(lock_);
   if (events_.size() < capacity_) {
     events_.push_back(std::move(e));
     return;

@@ -27,6 +27,7 @@
 
 #include "obs/metrics.hpp"
 #include "sim/log.hpp"
+#include "sim/spinlock.hpp"
 #include "sim/time.hpp"
 
 namespace now::sim {
@@ -97,12 +98,17 @@ class Tracer {
   std::size_t head_ = 0;  // next overwrite position once the ring is full
   std::uint64_t dropped_ = 0;
   std::vector<std::string> tracks_;
+  // Serializes ring pushes and track interning: the lanes of one partitioned
+  // simulation share a single tracer.  Uncontended (serial runs) this is one
+  // atomic exchange per recorded event, nothing per untraced site.
+  sim::SpinLock lock_;
 };
 
 /// The calling thread's active tracer: its override if one is installed,
-/// else the process-wide default.  A Tracer is engine-confined (track
-/// interning and the ring buffer are unlocked); concurrent simulations
-/// must each run against their own — which the per-thread override (and
+/// else the process-wide default.  Recording (push/track) is spinlocked so
+/// the lanes of a partitioned run can share one tracer, but enable/clear/
+/// export remain single-threaded; concurrent *simulations* must each run
+/// against their own tracer — which the per-thread override (and
 /// exp::ScopedRunContext, which installs it) provides.
 Tracer& tracer();
 

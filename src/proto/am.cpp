@@ -83,7 +83,10 @@ void AmLayer::send_from_process(os::ProcessId pid, EndpointId src,
     then();
     return;
   }
-  ++stats_.stalled_sends;
+  {
+    sim::SpinGuard g(stats_lock_);
+    ++stats_.stalled_sends;
+  }
   obs_stalls_->inc();
   obs::tracer().instant(ep(src).node->id(), obs_track_, "credit_stall");
   // Spin-poll until the window opens.  The process stays runnable — and
@@ -112,12 +115,12 @@ void AmLayer::spin_until_injected(os::ProcessId pid, EndpointId src,
 void AmLayer::enqueue_fragments(EndpointId src, EndpointId dst, HandlerId h,
                                 std::uint32_t bytes, std::any payload,
                                 std::function<void()> on_injected) {
-  PairTx& tx = tx_[pair_key(src, dst)];
+  PairTx& tx = ep(src).tx[dst];
   tx.failed = false;  // a fresh send retries a previously failed pair
   const std::uint32_t nfrags =
       bytes == 0 ? 1 : (bytes + params_.mtu_bytes - 1) / params_.mtu_bytes;
   std::uint32_t remaining = bytes;
-  const sim::SimTime t0 = mux_.engine().now();
+  const sim::SimTime t0 = engine_of(*ep(src).node).now();
   for (std::uint32_t i = 0; i < nfrags; ++i) {
     Fragment f;
     f.handler = h;
@@ -143,7 +146,10 @@ void AmLayer::pump_window(EndpointId src, EndpointId dst, PairTx& tx) {
     tx.pending.pop_front();
     f.seq = tx.next_seq++;
     transmit(src, dst, f);
-    ++stats_.sent;
+    {
+      sim::SpinGuard g(stats_lock_);
+      ++stats_.sent;
+    }
     obs_sent_->inc();
     if (f.on_injected) {
       auto cb = std::move(f.on_injected);
@@ -164,7 +170,7 @@ void AmLayer::transmit(EndpointId src, EndpointId dst, const Fragment& f) {
   sn.cpu().steal(o_s);
   const sim::SimTime inject_at = mux_.reserve_stack(sn.id(), o_s);
 
-  WireData d{src,          dst,         tx_[pair_key(src, dst)].epoch,
+  WireData d{src,          dst,         ep(src).tx[dst].epoch,
              f.seq,        f.handler,   f.frag_bytes,
              f.msg_bytes,  f.last,      f.payload,
              f.injected_at};
@@ -174,29 +180,34 @@ void AmLayer::transmit(EndpointId src, EndpointId dst, const Fragment& f) {
   pkt.size_bytes = f.frag_bytes + 16;  // AM header
   pkt.tag = tag_;
   pkt.payload = std::move(d);
-  mux_.engine().schedule_at(inject_at, [this, p = std::move(pkt)]() mutable {
+  engine_of(sn).schedule_at(inject_at, [this, p = std::move(pkt)]() mutable {
     mux_.send(std::move(p));
   });
 }
 
 void AmLayer::arm_timer(EndpointId src, EndpointId dst, PairTx& tx) {
-  tx.timer = mux_.engine().schedule_in(
-      params_.retry_timeout, [this, src, dst] { on_timeout(src, dst); });
+  // The timer lives on the sender's lane: on_timeout touches only tx state.
+  tx.timer = engine_of(*ep(src).node)
+                 .schedule_in(params_.retry_timeout,
+                              [this, src, dst] { on_timeout(src, dst); });
 }
 
 void AmLayer::on_timeout(EndpointId src, EndpointId dst) {
-  const auto it = tx_.find(pair_key(src, dst));
-  if (it == tx_.end()) return;
+  const auto it = ep(src).tx.find(dst);
+  if (it == ep(src).tx.end()) return;
   PairTx& tx = it->second;
   tx.timer = 0;
   if (tx.unacked.empty()) return;
   if (!ep(src).node->alive()) {
     // The sender itself died; abandon the window quietly.
-    tx_.erase(it);
+    ep(src).tx.erase(it);
     return;
   }
   if (++tx.timeouts > params_.max_retries) {
-    ++stats_.pair_failures;
+    {
+      sim::SpinGuard g(stats_lock_);
+      ++stats_.pair_failures;
+    }
     obs_pair_failures_->inc();
     obs_epoch_bumps_->inc();
     obs::tracer().instant(ep(src).node->id(), obs_track_, "epoch_bump");
@@ -217,7 +228,10 @@ void AmLayer::on_timeout(EndpointId src, EndpointId dst) {
   obs::tracer().instant(ep(src).node->id(), obs_track_, "go_back_n");
   for (const Fragment& f : tx.unacked) {
     transmit(src, dst, f);
-    ++stats_.retransmits;
+    {
+      sim::SpinGuard g(stats_lock_);
+      ++stats_.retransmits;
+    }
     obs_retransmits_->inc();
   }
   arm_timer(src, dst, tx);
@@ -238,11 +252,12 @@ void AmLayer::on_packet(net::Packet&& pkt) {
 void AmLayer::on_data(WireData&& d) {
   if (params_.loss_probability > 0.0 &&
       rng_.bernoulli(params_.loss_probability)) {
+    sim::SpinGuard g(stats_lock_);
     ++stats_.injected_losses;
     return;
   }
   Endpoint& e = ep(d.dst_ep);
-  PairRx& rx = rx_[pair_key(d.src_ep, d.dst_ep)];
+  PairRx& rx = e.rx[d.src_ep];
   if (d.epoch != rx.epoch) {
     if (d.epoch < rx.epoch) return;  // stale generation: drop
     // The sender restarted this pair: resynchronize.
@@ -274,7 +289,7 @@ void AmLayer::on_data(WireData&& d) {
 void AmLayer::handle_now(Endpoint& e, EndpointId dst_ep, WireData&& d) {
   const sim::Duration o_r = params_.costs.recv_overhead(d.frag_bytes);
   e.node->cpu().steal(o_r);
-  PairRx& rx = rx_[pair_key(d.src_ep, dst_ep)];
+  PairRx& rx = e.rx[d.src_ep];
   ++rx.handled;
 
   bool run_handler = false;
@@ -297,8 +312,8 @@ void AmLayer::handle_now(Endpoint& e, EndpointId dst_ep, WireData&& d) {
   if (!rx.ack_flush_pending) {
     rx.ack_flush_pending = true;
     const EndpointId src_ep = d.src_ep;
-    mux_.engine().schedule_in(0, [this, src_ep, dst_ep] {
-      PairRx& r = rx_[pair_key(src_ep, dst_ep)];
+    engine_of(*e.node).schedule_in(0, [this, src_ep, dst_ep] {
+      PairRx& r = ep(dst_ep).rx[src_ep];
       r.ack_flush_pending = false;
       if (r.handled != r.last_acked) {
         r.last_acked = r.handled;
@@ -316,18 +331,20 @@ void AmLayer::handle_now(Endpoint& e, EndpointId dst_ep, WireData&& d) {
     os::Node* node = e.node;
     const HandlerId h = d.handler;
     const sim::SimTime injected_at = d.injected_at;
-    mux_.engine().schedule_in(
+    engine_of(*node).schedule_in(
         o_r, [this, node, dst_ep, h, injected_at, m = std::move(msg)] {
           if (!node->alive()) return;
-          ++stats_.handled;
-          stats_.msg_latency_us.add(
-              sim::to_us(mux_.engine().now() - injected_at));
+          const sim::SimTime at = engine_of(*node).now();
+          {
+            sim::SpinGuard g(stats_lock_);
+            ++stats_.handled;
+            stats_.msg_latency_us.add(sim::to_us(at - injected_at));
+          }
           obs_handled_->inc();
-          obs_latency_us_->observe(
-              sim::to_us(mux_.engine().now() - injected_at));
+          obs_latency_us_->observe(sim::to_us(at - injected_at));
           // Full message lifetime, injection to handler start.
           obs::tracer().complete(node->id(), obs_track_, "am.msg", injected_at,
-                                 mux_.engine().now());
+                                 at);
           Endpoint& e2 = ep(dst_ep);
           const auto it = e2.handlers.find(h);
           assert(it != e2.handlers.end() && "no handler registered");
@@ -340,7 +357,10 @@ void AmLayer::send_ack(EndpointId from_ep, EndpointId to_ep,
                        std::uint32_t epoch, std::uint32_t cum_seq) {
   os::Node& n = *ep(from_ep).node;
   if (!n.alive()) return;
-  ++stats_.acks;
+  {
+    sim::SpinGuard g(stats_lock_);
+    ++stats_.acks;
+  }
   const sim::Duration cost =
       params_.costs.send_fixed / params_.ack_cost_divisor;
   n.cpu().steal(cost);
@@ -351,14 +371,15 @@ void AmLayer::send_ack(EndpointId from_ep, EndpointId to_ep,
   pkt.size_bytes = 16;
   pkt.tag = tag_;
   pkt.payload = WireAck{from_ep, to_ep, epoch, cum_seq};
-  mux_.engine().schedule_at(at, [this, p = std::move(pkt)]() mutable {
+  engine_of(n).schedule_at(at, [this, p = std::move(pkt)]() mutable {
     mux_.send(std::move(p));
   });
 }
 
 void AmLayer::on_ack(const WireAck& a) {
-  const auto it = tx_.find(pair_key(a.dst_ep, a.src_ep));
-  if (it == tx_.end()) return;
+  // Runs at ack delivery on the data sender's node — the lane owning tx.
+  const auto it = ep(a.dst_ep).tx.find(a.src_ep);
+  if (it == ep(a.dst_ep).tx.end()) return;
   PairTx& tx = it->second;
   if (a.epoch != tx.epoch) return;  // ack for a dead generation
   bool advanced = false;
@@ -370,14 +391,15 @@ void AmLayer::on_ack(const WireAck& a) {
   if (advanced) {
     tx.timeouts = 0;
     if (tx.timer != 0) {
+      sim::Engine& eng = engine_of(*ep(a.dst_ep).node);
       if (tx.unacked.empty()) {
-        mux_.engine().cancel(tx.timer);
+        eng.cancel(tx.timer);
         tx.timer = 0;
       } else {
         // Frames still in flight: restart the retransmit clock by moving the
         // pending timer in place — its closure already names this pair, so
         // cancel + schedule would rebuild an identical event.
-        tx.timer = mux_.engine().reschedule_in(tx.timer, params_.retry_timeout);
+        tx.timer = eng.reschedule_in(tx.timer, params_.retry_timeout);
         assert(tx.timer != 0);
       }
     }

@@ -35,6 +35,7 @@
 #include "proto/costs.hpp"
 #include "proto/nic_mux.hpp"
 #include "sim/random.hpp"
+#include "sim/spinlock.hpp"
 #include "sim/stats.hpp"
 
 namespace now::proto {
@@ -127,6 +128,12 @@ class AmLayer {
   const AmStats& stats() const { return stats_; }
   os::Node& node_of(EndpointId ep);
   sim::Engine& engine() { return mux_.engine(); }
+  /// The engine `n`'s events run on (its partition lane, or the cluster
+  /// engine serially).  Every now()/schedule in this layer — and in layers
+  /// above, like RPC — is per-node.
+  sim::Engine& engine_of(os::Node& n) {
+    return mux_.network().engine_for(n.id());
+  }
 
   /// Unloaded one-way small-message time (overhead + wire) for reporting:
   /// o_send + transit + o_recv, assuming an interrupt endpoint.
@@ -165,17 +172,6 @@ class AmLayer {
     std::uint32_t cum_seq;
   };
 
-  struct Endpoint {
-    os::Node* node = nullptr;
-    Mode mode = Mode::kInterrupt;
-    os::ProcessId owner = os::kNoProcess;
-    std::unordered_map<HandlerId, Handler> handlers;
-    // Polling endpoints: delivered-but-unhandled messages.
-    std::deque<WireData> rx_queue;
-    // Reassembly: bytes accumulated of a fragmented message, per source ep.
-    std::unordered_map<EndpointId, std::uint64_t> partial_bytes;
-  };
-
   struct PairTx {
     /// Connection generation: bumped when a window gives up, so a peer
     /// that kept stale in-order state (or a rebooted one) resynchronizes.
@@ -197,9 +193,22 @@ class AmLayer {
     bool ack_flush_pending = false;
   };
 
-  static std::uint64_t pair_key(EndpointId a, EndpointId b) {
-    return (static_cast<std::uint64_t>(a) << 32) | b;
-  }
+  // Pair state lives inside the endpoint whose lane mutates it, so a
+  // partitioned run never touches these maps from two lanes: tx is driven
+  // by the data sender (sends, timers, acks arriving back at the sender's
+  // node) and rx by the data receiver.
+  struct Endpoint {
+    os::Node* node = nullptr;
+    Mode mode = Mode::kInterrupt;
+    os::ProcessId owner = os::kNoProcess;
+    std::unordered_map<HandlerId, Handler> handlers;
+    // Polling endpoints: delivered-but-unhandled messages.
+    std::deque<WireData> rx_queue;
+    // Reassembly: bytes accumulated of a fragmented message, per source ep.
+    std::unordered_map<EndpointId, std::uint64_t> partial_bytes;
+    std::unordered_map<EndpointId, PairTx> tx;  // keyed by destination ep
+    std::unordered_map<EndpointId, PairRx> rx;  // keyed by source ep
+  };
 
   Endpoint& ep(EndpointId id) { return endpoints_[id]; }
   void enqueue_fragments(EndpointId src, EndpointId dst, HandlerId h,
@@ -222,11 +231,12 @@ class AmLayer {
 
   NicMux& mux_;
   AmParams params_;
+  // Loss-injection RNG.  Only touched when loss_probability > 0, which
+  // partitioned runs forbid (a shared RNG would be both a race and a
+  // thread-count-dependent sequence); the Cluster enforces that.
   sim::Pcg32 rng_;
   std::uint32_t tag_;
   std::vector<Endpoint> endpoints_;
-  std::unordered_map<std::uint64_t, PairTx> tx_;
-  std::unordered_map<std::uint64_t, PairRx> rx_;
   // node -> (owner pid -> polling endpoints) for dispatch-driven draining.
   std::unordered_map<net::NodeId,
                      std::unordered_map<os::ProcessId,
@@ -234,6 +244,9 @@ class AmLayer {
       pollers_;
   std::vector<bool> observer_installed_;  // per node
   AmStats stats_;
+  // Guards stats_: sender-side fields update on source lanes, receiver-side
+  // on destination lanes.  Uncontended serially.
+  sim::SpinLock stats_lock_;
   FailureHandler on_failure_;
   // Cached obs handles; see src/obs/metrics.hpp for the pattern.
   obs::Counter* obs_sent_;

@@ -15,6 +15,8 @@ void NicMux::attach_node(os::Node& node, std::uint32_t rx_buffer_bytes) {
   if (id >= nodes_.size()) nodes_.resize(id + 1, nullptr);
   assert(nodes_[id] == nullptr && "node attached twice");
   nodes_[id] = &node;
+  // Pre-size here (setup time) so partitioned lanes never grow the vector.
+  if (id >= stack_busy_until_.size()) stack_busy_until_.resize(id + 1, 0);
   network_.attach(
       id, [this](net::Packet&& pkt) { on_delivery(std::move(pkt)); },
       rx_buffer_bytes);
@@ -22,8 +24,10 @@ void NicMux::attach_node(os::Node& node, std::uint32_t rx_buffer_bytes) {
 
 sim::SimTime NicMux::reserve_stack(net::NodeId id, sim::Duration cpu_time) {
   if (id >= stack_busy_until_.size()) stack_busy_until_.resize(id + 1, 0);
+  // The stack is per-node state touched only by that node's own events, so
+  // its lane's clock is the right "now" under partitioning.
   const sim::SimTime start =
-      std::max(engine().now(), stack_busy_until_[id]);
+      std::max(network_.engine_for(id).now(), stack_busy_until_[id]);
   stack_busy_until_[id] = start + cpu_time;
   return stack_busy_until_[id];
 }
@@ -61,7 +65,8 @@ void NicMux::send(net::Packet pkt) {
   assert(src != nullptr && "send from unattached node");
   if (!src->alive()) return;  // a dead workstation sends nothing
   if (!carried(pkt.src) || !carried(pkt.dst)) {
-    ++rejected_packets_;  // unattested machine: the interface stays shut
+    // Unattested machine: the interface stays shut.
+    rejected_packets_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   network_.send(std::move(pkt));
@@ -73,7 +78,7 @@ void NicMux::on_delivery(net::Packet&& pkt) {
   network_.release_rx(pkt.dst, pkt.size_bytes);
   if (!dst->alive()) return;  // NIC is deaf while crashed
   if (!carried(pkt.src) || !carried(pkt.dst)) {
-    ++rejected_packets_;  // expelled mid-flight
+    rejected_packets_.fetch_add(1, std::memory_order_relaxed);  // expelled
     return;
   }
   assert(pkt.tag < layers_.size() && "packet for unregistered layer");

@@ -8,6 +8,7 @@
 // the timeout/retry and takeover paths above.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -50,7 +51,9 @@ class NicMux {
   void expel(net::NodeId node);
 
   bool admitted(net::NodeId node) const;
-  std::uint64_t rejected_packets() const { return rejected_packets_; }
+  std::uint64_t rejected_packets() const {
+    return rejected_packets_.load(std::memory_order_relaxed);
+  }
 
   /// Injects a packet (pkt.tag must be a registered layer's tag).
   /// Silently dropped if the source node has crashed.
@@ -82,7 +85,8 @@ class NicMux {
   bool enforce_admission_ = false;
   std::uint64_t expected_key_ = 0;
   std::vector<bool> admitted_;
-  std::uint64_t rejected_packets_ = 0;
+  // Bumped from source lanes (send) and destination lanes (on_delivery).
+  std::atomic<std::uint64_t> rejected_packets_{0};
 };
 
 }  // namespace now::proto

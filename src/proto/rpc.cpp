@@ -9,10 +9,17 @@ void RpcLayer::bind(os::Node& node) {
   assert(!endpoints_.contains(id) && "node bound twice");
   const EndpointId ep = am_.create_endpoint(node, AmLayer::Mode::kInterrupt);
   endpoints_[id] = ep;
+  callers_.emplace(id, CallerState{});
   am_.register_handler(ep, kRequestHandler,
                        [this, id](const AmMessage& m) { on_request(id, m); });
   am_.register_handler(ep, kResponseHandler,
-                       [this](const AmMessage& m) { on_response(m); });
+                       [this, id](const AmMessage& m) { on_response(id, m); });
+}
+
+RpcLayer::CallerState& RpcLayer::caller_state(net::NodeId node) {
+  const auto it = callers_.find(node);
+  assert(it != callers_.end() && "caller_state before bind");
+  return it->second;
 }
 
 void RpcLayer::register_method(net::NodeId node, MethodId method, Method fn) {
@@ -25,22 +32,31 @@ void RpcLayer::call(net::NodeId from, net::NodeId to, MethodId method,
                     ResponseFn on_reply, sim::Duration timeout,
                     TimeoutFn on_timeout) {
   assert(endpoints_.contains(from) && endpoints_.contains(to));
-  const std::uint64_t id = next_call_id_++;
-  ++calls_sent_;
+  CallerState& cs = caller_state(from);
+  // Ids are caller-scoped (high word = caller node), so concurrent lanes
+  // never contend on a shared counter and a response unambiguously names
+  // its caller's table.
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(from) << 32) | cs.next_call_id++;
+  calls_sent_.fetch_add(1, std::memory_order_relaxed);
 
   Outstanding out;
   out.on_reply = std::move(on_reply);
   if (timeout > 0) {
-    out.timer = am_.engine().schedule_in(
-        timeout, [this, id, cb = std::move(on_timeout)] {
-          const auto it = outstanding_.find(id);
-          if (it == outstanding_.end()) return;
-          outstanding_.erase(it);
-          ++timeouts_;
-          if (cb) cb();
-        });
+    // The timer lives on the caller's lane, like everything in its table.
+    out.timer = am_.engine_of(am_.node_of(endpoints_[from]))
+                    .schedule_in(timeout,
+                                 [this, from, id, cb = std::move(on_timeout)] {
+                                   CallerState& c = caller_state(from);
+                                   const auto it = c.outstanding.find(id);
+                                   if (it == c.outstanding.end()) return;
+                                   c.outstanding.erase(it);
+                                   timeouts_.fetch_add(
+                                       1, std::memory_order_relaxed);
+                                   if (cb) cb();
+                                 });
   }
-  outstanding_.emplace(id, std::move(out));
+  cs.outstanding.emplace(id, std::move(out));
 
   am_.send(endpoints_[from], endpoints_[to], kRequestHandler, req_bytes,
            Request{id, from, method, std::move(req)});
@@ -64,15 +80,18 @@ void RpcLayer::on_request(net::NodeId self, const AmMessage& m) {
   mit->second(caller, req->payload, std::move(reply));
 }
 
-void RpcLayer::on_response(const AmMessage& m) {
+void RpcLayer::on_response(net::NodeId self, const AmMessage& m) {
   const auto* resp = std::any_cast<Response>(&m.payload);
   assert(resp != nullptr);
-  const auto it = outstanding_.find(resp->call_id);
-  if (it == outstanding_.end()) return;  // reply after timeout: dropped
+  CallerState& cs = caller_state(self);
+  const auto it = cs.outstanding.find(resp->call_id);
+  if (it == cs.outstanding.end()) return;  // reply after timeout: dropped
   Outstanding out = std::move(it->second);
-  outstanding_.erase(it);
-  ++replies_;
-  if (out.timer != 0) am_.engine().cancel(out.timer);
+  cs.outstanding.erase(it);
+  replies_.fetch_add(1, std::memory_order_relaxed);
+  if (out.timer != 0) {
+    am_.engine_of(am_.node_of(endpoints_[self])).cancel(out.timer);
+  }
   if (out.on_reply) out.on_reply(resp->payload);
 }
 

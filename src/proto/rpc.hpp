@@ -8,6 +8,7 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -48,9 +49,15 @@ class RpcLayer {
 
   sim::Engine& engine() { return am_.engine(); }
 
-  std::uint64_t calls_sent() const { return calls_sent_; }
-  std::uint64_t replies_received() const { return replies_; }
-  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t calls_sent() const {
+    return calls_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replies_received() const {
+    return replies_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Request {
@@ -67,20 +74,27 @@ class RpcLayer {
     ResponseFn on_reply;
     sim::EventId timer = 0;
   };
+  // Caller-side call tracking, confined to the caller's lane: calls, their
+  // timeout timers, and the responses (delivered to the caller's endpoint)
+  // all execute there.  Created at bind (setup time), looked up afterwards.
+  struct CallerState {
+    std::unordered_map<std::uint64_t, Outstanding> outstanding;
+    std::uint64_t next_call_id = 1;
+  };
 
   void on_request(net::NodeId self, const AmMessage& m);
-  void on_response(const AmMessage& m);
+  void on_response(net::NodeId self, const AmMessage& m);
+  CallerState& caller_state(net::NodeId node);
 
   AmLayer& am_;
   std::unordered_map<net::NodeId, EndpointId> endpoints_;
   std::unordered_map<net::NodeId,
                      std::unordered_map<MethodId, Method>>
       methods_;
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
-  std::uint64_t next_call_id_ = 1;
-  std::uint64_t calls_sent_ = 0;
-  std::uint64_t replies_ = 0;
-  std::uint64_t timeouts_ = 0;
+  std::unordered_map<net::NodeId, CallerState> callers_;
+  std::atomic<std::uint64_t> calls_sent_{0};
+  std::atomic<std::uint64_t> replies_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
 
   static constexpr HandlerId kRequestHandler = 1;
   static constexpr HandlerId kResponseHandler = 2;

@@ -120,6 +120,28 @@ std::uint64_t Engine::run_until(SimTime deadline) {
   return n;
 }
 
+std::uint64_t Engine::run_while_before(SimTime bound) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    const Source src = next_source();
+    if (src == Source::kNone) break;
+    const SimTime next =
+        src == Source::kRun ? run_[run_pos_].time : heap_[0].time;
+    if (next >= bound) break;
+    dispatch_from(src);
+    ++n;
+  }
+  return n;
+}
+
+bool Engine::peek_next(SimTime* at) {
+  const Source src = next_source();
+  if (src == Source::kNone) return false;
+  *at = src == Source::kRun ? run_[run_pos_].time : heap_[0].time;
+  return true;
+}
+
 // Filters cancelled entries out of the future buffer and sorts the survivors
 // into the next run.  Sorting PODs sequentially here is ~3x cheaper than
 // sifting each event through a large implicit heap, and the filter pass is

@@ -151,6 +151,28 @@ class Engine {
   /// the last dispatched event.
   std::uint64_t run_until(SimTime deadline);
 
+  /// Dispatches every event with time strictly before `bound`, leaving the
+  /// clock at the last dispatched event (never clamped forward) — the
+  /// epoch-execution primitive of sim::ParallelEngine: a partition lane runs
+  /// [epoch_start, epoch_end) and must not consume events at or past the
+  /// barrier.
+  std::uint64_t run_while_before(SimTime bound);
+
+  /// Timestamp of the earliest pending live event, without dispatching it.
+  /// Returns false when no live event is pending.
+  bool peek_next(SimTime* at);
+
+  /// Advances the clock to `t` without dispatching (no-op if t <= now).
+  /// Only legal when no pending event precedes `t`; the partitioned runner
+  /// uses it to line lanes up on a barrier instant.
+  void advance_to(SimTime t) {
+    assert(!([this, t] {
+      SimTime next;
+      return peek_next(&next) && next < t;
+    }()) && "advance_to would skip pending events");
+    if (t > now_) now_ = t;
+  }
+
   /// Dispatches at most one event.  Returns false if the queue was empty.
   bool step();
 

@@ -1,0 +1,49 @@
+// The execution domain a simulation runs in: which event lane owns which
+// node, and how cross-lane interactions travel between lanes.
+//
+// The serial engine needs none of this — one Engine, one lane.  When a
+// Cluster runs partitioned (sim::ParallelEngine), every component that
+// schedules work "at node N" resolves the owning lane through this
+// interface, and every interaction that crosses lanes (packet delivery on
+// the switched fabric) becomes a timestamped message handed to post(),
+// applied at the next epoch barrier in a deterministic merge order
+// (time, source node, destination node, per-mailbox sequence).  See
+// DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/callback.hpp"
+#include "sim/time.hpp"
+
+namespace now::sim {
+
+class Engine;
+
+class ExecDomain {
+ public:
+  virtual ~ExecDomain() = default;
+
+  /// Number of partition lanes (excluding the global lane).
+  virtual unsigned lanes() const = 0;
+
+  /// The event lane that owns `node`: all of the node's timers, CPU/disk
+  /// events, and protocol handlers run here.
+  virtual Engine& engine_for(std::uint32_t node) = 0;
+
+  /// True if `a` and `b` live on the same lane (their interactions need no
+  /// cross-lane message).
+  virtual bool same_lane(std::uint32_t a, std::uint32_t b) const = 0;
+
+  /// Hands `fn` to the lane owning `dst_node`.  It runs at the next epoch
+  /// barrier, with exclusive access to the destination lane's state, after
+  /// every message with a smaller (order_time, src_node, dst_node,
+  /// sequence) key —
+  /// the deterministic merge rule that makes results independent of the
+  /// thread count.  `order_time` must be >= the end of the current epoch
+  /// (guaranteed when it is a wire-send time plus the fabric lookahead).
+  virtual void post(std::uint32_t src_node, std::uint32_t dst_node,
+                    SimTime order_time, InlinedCallback fn) = 0;
+};
+
+}  // namespace now::sim
