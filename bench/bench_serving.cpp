@@ -1,0 +1,258 @@
+// Serving traffic with tail-latency SLOs: xFS vs the central server.
+//
+// The paper's pitch is a building-wide machine you can point real users
+// at.  This bench treats the file service as that product: an open
+// Poisson arrival stream (requests keep coming whether or not earlier
+// ones finished — nobody's browser waits for a stranger's RPC) of 75 %
+// reads / 25 % writes is offered to sixteen client workstations at a
+// swept rate, against both file system designs, with and without a
+// scripted crash of node 0 — the central design's one server, just
+// another manager/RAID member to xFS.  now::serve records every
+// end-to-end latency and judges it against per-class SLOs (reads 25 ms,
+// writes 100 ms); the cells report p50/p99/p999, SLO attainment, and
+// goodput (SLO-meeting successes per second).
+//
+// Expected shape: at low load both designs serve from cache and meet SLO.
+// As offered load grows, the central design's write-through disk
+// saturates first — queues build, replies outrun the 500 ms RPC timeout,
+// and attainment collapses; xFS spreads the same bytes over every disk
+// via log striping and degrades much later.  Under the fault plan the
+// divergence widens: the central design loses every op issued during the
+// outage *and* comes back with a cold server cache (satellite of this
+// PR: DRAM does not survive a power cycle), while xFS re-points manager
+// duty in ~500 ms and serves degraded reads from the surviving stripes.
+//
+// Determinism: every cell is one exp::run_sweep point (--jobs N) whose
+// arrivals/mix draws derive from the point seed; serving pins
+// Partitioning::kAllGlobal (see DESIGN.md §13), so --threads is accepted
+// but execution is serial and stdout is byte-identical for any
+// --jobs/--threads combination.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "exp/grid.hpp"
+#include "serve/workload.hpp"
+#include "xfs/central_server.hpp"
+
+namespace {
+
+using namespace now;
+
+constexpr std::uint32_t kClients = 16;
+constexpr sim::SimTime kHorizon = 30 * sim::kSecond;
+constexpr sim::Duration kDrain = 5 * sim::kSecond;
+constexpr sim::SimTime kCrashAt = 15 * sim::kSecond;
+constexpr sim::Duration kOutage = 5 * sim::kSecond;
+constexpr std::uint32_t kWorkingSet = 2'000;
+constexpr sim::Duration kReadSlo = 25 * sim::kMillisecond;
+constexpr sim::Duration kWriteSlo = 100 * sim::kMillisecond;
+
+const std::vector<double> kLoads{25.0, 100.0, 400.0, 1600.0};
+const std::vector<std::string> kLoadLabels{"25/s", "100/s", "400/s",
+                                           "1600/s"};
+const std::vector<std::string> kFaultLabels{"none", "crash@15s"};
+const std::vector<std::string> kBackendLabels{"central", "xfs"};
+
+serve::ServeConfig serve_config(double offered, std::uint64_t seed) {
+  serve::ServeConfig sc;
+  sc.population.clients = kClients;
+  sc.population.open_fraction = 1.0;  // pure open arrivals
+  sc.population.offered_per_sec = offered;
+  sc.population.horizon = kHorizon;
+  serve::RequestClass rd;
+  rd.name = "read";
+  rd.op = serve::RequestOp::kFileRead;
+  rd.weight = 0.75;
+  rd.slo = kReadSlo;
+  rd.working_set = kWorkingSet;
+  serve::RequestClass wr;
+  wr.name = "write";
+  wr.op = serve::RequestOp::kFileWrite;
+  wr.weight = 0.25;
+  wr.slo = kWriteSlo;
+  wr.working_set = kWorkingSet;
+  sc.classes = {rd, wr};
+  for (std::uint32_t i = 1; i <= kClients; ++i) sc.client_nodes.push_back(i);
+  sc.seed = seed;
+  return sc;
+}
+
+struct CellResult {
+  serve::ServeTotals totals;
+  serve::SloClassReport read;
+  serve::SloClassReport write;
+  serve::SloClassReport all;
+  std::uint64_t in_flight = 0;
+  std::uint64_t cold_restarts = 0;
+};
+
+ClusterConfig base_config(bool with_fault, exp::RunContext& ctx,
+                          unsigned threads) {
+  ClusterConfig cfg;
+  cfg.workstations = kClients + 1;  // node 0: server / manager+RAID member
+  cfg.with_glunix = false;
+  if (with_fault) {
+    fault::FaultPlan plan;
+    plan.crash_at(kCrashAt, 0).restart_at(kCrashAt + kOutage, 0);
+    cfg.fault_plan = plan;
+  }
+  // Serving drives shared services (the central server, xFS managers), so
+  // events touch many nodes' state: not partition-clean.  kAllGlobal keeps
+  // execution serial — --threads is accepted, output is byte-identical at
+  // any value by construction (DESIGN.md §13).
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kAllGlobal;
+  cfg.seed = ctx.seed;
+  cfg.run = &ctx;
+  return cfg;
+}
+
+CellResult harvest(const serve::ServeWorkload& w) {
+  CellResult r;
+  r.totals = w.totals();
+  r.read = w.slo().report(0, kHorizon);
+  r.write = w.slo().report(1, kHorizon);
+  r.all = w.slo().overall(kHorizon);
+  r.in_flight = w.in_flight();
+  return r;
+}
+
+CellResult run_central(double offered, bool with_fault, exp::RunContext& ctx,
+                       unsigned threads) {
+  ClusterConfig cfg = base_config(with_fault, ctx, threads);
+  Cluster c(cfg);
+  xfs::CentralFsParams p;
+  p.client_cache_blocks = 64;
+  std::vector<os::Node*> clients;
+  for (std::uint32_t i = 1; i <= kClients; ++i) clients.push_back(&c.node(i));
+  xfs::CentralServerFs fs(c.rpc(), c.node(0), clients, p);
+  fs.start();
+  c.faults().attach_central(&fs);  // crash drops the server cache
+
+  serve::Backends b;
+  b.central = &fs;
+  serve::ServeWorkload w(c.engine(), b, serve_config(offered, ctx.seed));
+  w.start();
+  c.run_until(kHorizon + kDrain);
+
+  CellResult r = harvest(w);
+  r.cold_restarts = fs.stats().cold_restarts;
+  return r;
+}
+
+CellResult run_xfs(double offered, bool with_fault, exp::RunContext& ctx,
+                   unsigned threads) {
+  ClusterConfig cfg = base_config(with_fault, ctx, threads);
+  cfg.with_xfs = true;
+  cfg.xfs.client_cache_blocks = 64;
+  cfg.stripe_group_size = 0;  // one RAID-5 across all seventeen disks
+  Cluster c(cfg);
+
+  serve::Backends b;
+  b.xfs = &c.fs();
+  serve::ServeWorkload w(c.engine(), b, serve_config(offered, ctx.seed));
+  w.start();
+  c.run_until(kHorizon + kDrain);
+  return harvest(w);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  now::bench::heading(
+      "serving traffic under tail-latency SLOs - xFS vs central server",
+      "'A Case for NOW': a building-wide system users can be pointed at "
+      "must hold its latency tail through load and failures");
+  now::bench::Sweep sweep(argc, argv, "bench/bench_serving");
+  now::bench::JsonReport json(argc, argv, "bench_serving", "ms / fraction");
+  json.method(
+      "16 clients, 30 s simulated, open Poisson arrivals (75% reads SLO "
+      "25 ms, 25% writes SLO 100 ms, zipf working set of 2000 blocks); "
+      "cells cross offered load x fault plan (node 0 crash at 15 s, "
+      "repair at 20 s) x backend; attainment = requests that succeeded "
+      "and met their class SLO / completed");
+
+  now::exp::Grid grid;
+  grid.add("backend", kBackendLabels.size());
+  grid.add("fault", kFaultLabels.size());
+  grid.add("load", kLoads.size());
+
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto co = grid.coords(i);
+    names.push_back(kBackendLabels[co[0]] + "_" +
+                    (co[1] ? "crash15s" : "nofault") + "_" +
+                    std::to_string(static_cast<int>(kLoads[co[2]])) + "rps");
+  }
+
+  const auto cells = sweep.run(names, [&](now::exp::RunContext& ctx) {
+    const auto co = grid.coords(ctx.task_index);
+    const bool xfs = co[0] == 1;
+    const bool with_fault = co[1] == 1;
+    const double load = kLoads[co[2]];
+    return xfs ? run_xfs(load, with_fault, ctx, sweep.threads())
+               : run_central(load, with_fault, ctx, sweep.threads());
+  });
+
+  now::bench::row("%-8s %-10s %-7s %9s %6s %8s %8s %8s %8s %7s %9s",
+                  "backend", "fault", "load", "completed", "fail",
+                  "p50 ms", "p99 ms", "p999 ms", "max ms", "attain",
+                  "goodput/s");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto co = grid.coords(i);
+    const CellResult& r = cells[i];
+    now::bench::row(
+        "%-8s %-10s %-7s %9llu %6llu %8.2f %8.2f %8.2f %8.1f %6.1f%% %9.1f",
+        kBackendLabels[co[0]].c_str(), kFaultLabels[co[1]].c_str(),
+        kLoadLabels[co[2]].c_str(),
+        static_cast<unsigned long long>(r.all.completed),
+        static_cast<unsigned long long>(r.all.failed), r.all.p50_ms,
+        r.all.p99_ms, r.all.p999_ms, r.all.max_ms, 100.0 * r.all.attainment,
+        r.all.goodput_per_sec);
+    json.value(names[i], "offered_per_sec", r.totals.offered_per_sec);
+    json.value(names[i], "arrivals", static_cast<double>(r.totals.arrivals));
+    json.value(names[i], "completed", static_cast<double>(r.all.completed));
+    json.value(names[i], "failed", static_cast<double>(r.all.failed));
+    json.value(names[i], "in_flight_at_end",
+               static_cast<double>(r.in_flight));
+    json.value(names[i], "p50_ms", r.all.p50_ms);
+    json.value(names[i], "p99_ms", r.all.p99_ms);
+    json.value(names[i], "p999_ms", r.all.p999_ms);
+    json.value(names[i], "attainment", r.all.attainment);
+    json.value(names[i], "goodput_per_sec", r.all.goodput_per_sec);
+    json.value(names[i], "read_p99_ms", r.read.p99_ms);
+    json.value(names[i], "read_attainment", r.read.attainment);
+    json.value(names[i], "write_p99_ms", r.write.p99_ms);
+    json.value(names[i], "write_attainment", r.write.attainment);
+    json.value(names[i], "cold_restarts",
+               static_cast<double>(r.cold_restarts));
+  }
+
+  // The headline comparison: same load, same crash schedule, the only
+  // difference is the file system architecture.
+  now::bench::row("");
+  now::bench::row("%-28s %14s %14s", "crash@15s cell", "central", "xfs");
+  for (std::size_t li = 0; li < kLoads.size(); ++li) {
+    const CellResult& ce = cells[grid.flat({0, 1, li})];
+    const CellResult& xf = cells[grid.flat({1, 1, li})];
+    now::bench::row("%-7s %-20s %13.2f %14.2f", kLoadLabels[li].c_str(),
+                    "p99 ms", ce.all.p99_ms, xf.all.p99_ms);
+    now::bench::row("%-7s %-20s %13.1f%% %13.1f%%", "",
+                    "SLO attainment", 100.0 * ce.all.attainment,
+                    100.0 * xf.all.attainment);
+  }
+  now::bench::row("");
+  now::bench::row("expected shape: the central design's write-through disk "
+                  "saturates first - queues");
+  now::bench::row("outrun the 500 ms RPC timeout and attainment collapses; "
+                  "under the crash it also");
+  now::bench::row("restarts with a cold server cache.  xFS stripes the "
+                  "same bytes over every disk");
+  now::bench::row("and rides the crash out via manager takeover and "
+                  "degraded reads, so its tail");
+  now::bench::row("diverges from the incumbent's as load and faults "
+                  "stack up.");
+  return 0;
+}

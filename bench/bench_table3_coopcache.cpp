@@ -4,6 +4,10 @@
 //
 // The four policies replay the same trace independently, so they run as a
 // parallel sweep (--jobs N) with byte-identical output to the serial run.
+// --threads is accepted for flag uniformity but has nothing to fan out:
+// CoopCacheSim is an engine-less trace replay with no event queue to
+// partition, so each point executes serially regardless (the documented
+// serial fallback — output is byte-identical at any --threads value).
 #include <string>
 #include <vector>
 
@@ -18,6 +22,9 @@ int main(int argc, char** argv) {
       "'A Case for NOW', Table 3 (42 workstations, 16 MB/workstation, "
       "128 MB server; two-day Berkeley trace -> synthetic equivalent)");
   now::bench::Sweep sweep(argc, argv, "bench/bench_table3_coopcache");
+  // Engine-less replay: nothing to partition, so --threads only tightens
+  // the Sweep's jobs x threads oversubscription cap (see header note).
+  (void)sweep.threads();
 
   trace::FsWorkloadParams wp;
   wp.clients = 42;

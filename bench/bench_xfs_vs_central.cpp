@@ -31,10 +31,17 @@ struct RunResult {
 // Each client issues `per_client` ops with 20 ms think time; reads draw
 // from a shared pool with Zipf-ish reuse, 25 % writes.
 RunResult run_central(std::uint32_t nclients, int per_client,
-                      exp::RunContext& ctx) {
+                      exp::RunContext& ctx, unsigned threads) {
   ClusterConfig cfg;
   cfg.workstations = nclients + 1;  // +1 server
   cfg.with_glunix = false;
+  // --threads is accepted but the workload is not partition-clean: the
+  // CentralServerFs driver lives outside the cluster and every request
+  // crosses client/server node state.  kAllGlobal keeps every event on
+  // the serial path — output is byte-identical at any --threads value by
+  // construction (same pattern as bench_availability).
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kAllGlobal;
   cfg.run = &ctx;
   Cluster c(cfg);
   xfs::CentralFsParams p;
@@ -81,13 +88,16 @@ RunResult run_central(std::uint32_t nclients, int per_client,
 }
 
 RunResult run_xfs(std::uint32_t nclients, int per_client,
-                  exp::RunContext& ctx) {
+                  exp::RunContext& ctx, unsigned threads) {
   ClusterConfig cfg;
   cfg.workstations = nclients + 1;
   cfg.with_glunix = false;
   cfg.with_xfs = true;
   cfg.xfs.client_cache_blocks = 64;
   cfg.xfs.segment_blocks = std::min<std::uint32_t>(nclients, 16);
+  // xFS manager/RAID traffic spans nodes; see run_central's note.
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kAllGlobal;
   cfg.run = &ctx;
   Cluster c(cfg);
 
@@ -148,8 +158,8 @@ int main(int argc, char** argv) {
   const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
     const std::uint32_t n = client_counts[ctx.task_index];
     Point p;
-    p.central = run_central(n, 120, ctx);
-    p.xfs = run_xfs(n, 120, ctx);
+    p.central = run_central(n, 120, ctx, sweep.threads());
+    p.xfs = run_xfs(n, 120, ctx, sweep.threads());
     return p;
   });
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -1,0 +1,70 @@
+// now::exp — cartesian sweep axes.
+//
+// Sweeps over several experimental dimensions (backend x fault plan x
+// offered load, say) want to hand run_sweep a single flat task count and
+// recover the per-dimension coordinates inside each task.  Grid does the
+// index arithmetic once, in one place: dimensions are named sizes, flat
+// indices enumerate the cartesian product in row-major order (last
+// dimension fastest), and coords()/flat() convert both ways.  Pure
+// arithmetic — the mapping is the same on every thread and every run, so
+// it adds nothing to the determinism budget.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace now::exp {
+
+class Grid {
+ public:
+  Grid() = default;
+
+  /// Appends a dimension of `size` points; returns its index.
+  std::size_t add(std::string name, std::size_t size) {
+    assert(size > 0 && "a grid dimension needs at least one point");
+    names_.push_back(std::move(name));
+    sizes_.push_back(size);
+    return sizes_.size() - 1;
+  }
+
+  std::size_t dims() const { return sizes_.size(); }
+  const std::string& name(std::size_t dim) const { return names_.at(dim); }
+  std::size_t extent(std::size_t dim) const { return sizes_.at(dim); }
+
+  /// Total number of grid points (product of extents; 1 when empty).
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (const std::size_t s : sizes_) n *= s;
+    return n;
+  }
+
+  /// Coordinates of flat index `flat`, row-major (last dimension fastest).
+  std::vector<std::size_t> coords(std::size_t flat) const {
+    assert(flat < size());
+    std::vector<std::size_t> c(sizes_.size(), 0);
+    for (std::size_t d = sizes_.size(); d-- > 0;) {
+      c[d] = flat % sizes_[d];
+      flat /= sizes_[d];
+    }
+    return c;
+  }
+
+  /// Inverse of coords().
+  std::size_t flat(const std::vector<std::size_t>& coords) const {
+    assert(coords.size() == sizes_.size());
+    std::size_t f = 0;
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      assert(coords[d] < sizes_[d]);
+      f = f * sizes_[d] + coords[d];
+    }
+    return f;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::size_t> sizes_;
+};
+
+}  // namespace now::exp

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "exp/seed.hpp"
+#include "xfs/central_server.hpp"
 
 namespace now::fault {
 
@@ -184,6 +185,9 @@ void FaultInjector::crash_node(net::NodeId n) {
   if (t_.registry != nullptr && t_.registry->is_donor(n)) {
     t_.registry->donor_crashed(n);
   }
+  if (t_.central != nullptr && t_.central->server_id() == n) {
+    t_.central->server_crashed();
+  }
   // GLUnix is not poked: it discovers the death through missed heartbeats
   // and restarts guests from their checkpoints, exactly as it would have.
 }
@@ -227,6 +231,9 @@ void FaultInjector::restart_node(net::NodeId n) {
   if (policy_.auto_rebuild && t_.storage != nullptr &&
       t_.storage->member_down(n) && t_.storage->redundant()) {
     start_rebuild(n);
+  }
+  if (t_.central != nullptr && t_.central->server_id() == n) {
+    t_.central->server_restarted();
   }
 }
 

@@ -39,6 +39,10 @@
 #include "sim/random.hpp"
 #include "xfs/xfs.hpp"
 
+namespace now::xfs {
+class CentralServerFs;
+}  // namespace now::xfs
+
 namespace now::fault {
 
 enum class FaultKind : std::uint8_t {
@@ -177,6 +181,10 @@ struct FaultTargets {
   raid::Storage* storage = nullptr;
   xfs::Xfs* xfs = nullptr;
   netram::IdleMemoryRegistry* registry = nullptr;
+  /// The incumbent file system, when a comparison runs one.  Benches build
+  /// CentralServerFs after the Cluster, so this is usually attached late
+  /// via FaultInjector::attach_central().
+  xfs::CentralServerFs* central = nullptr;
 };
 
 /// Recovery policy: what the injector does *for* the cluster, modeling the
@@ -214,6 +222,11 @@ class FaultInjector {
   void fail_disk(net::NodeId n);
   void replace_disk(net::NodeId n);
   void owner_returned(net::NodeId n);
+
+  /// Registers the incumbent file system so crashes of its server node
+  /// drop the server cache (cold restart).  Call before the first fault
+  /// fires; passing nullptr detaches.
+  void attach_central(xfs::CentralServerFs* central) { t_.central = central; }
 
   const FaultStats& stats() const { return stats_; }
   bool node_down(net::NodeId n) const;

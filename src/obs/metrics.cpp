@@ -81,6 +81,12 @@ const Summary* MetricsRegistry::find_summary(std::string_view path) const {
   return it == instruments_.end() ? nullptr : std::get_if<Summary>(&it->second);
 }
 
+const Histogram* MetricsRegistry::find_histogram(std::string_view path) const {
+  const auto it = instruments_.find(path);
+  return it == instruments_.end() ? nullptr
+                                  : std::get_if<Histogram>(&it->second);
+}
+
 bool MetricsRegistry::read(std::string_view path, double* out) const {
   const auto it = instruments_.find(path);
   if (it == instruments_.end()) return false;

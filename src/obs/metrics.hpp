@@ -158,6 +158,7 @@ class MetricsRegistry {
   const Counter* find_counter(std::string_view path) const;
   const Gauge* find_gauge(std::string_view path) const;
   const Summary* find_summary(std::string_view path) const;
+  const Histogram* find_histogram(std::string_view path) const;
 
   /// Scalar reading of any instrument: counter value, gauge value, or the
   /// mean of a summary/histogram.  False if `path` is not registered.

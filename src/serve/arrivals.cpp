@@ -1,0 +1,108 @@
+#include "serve/arrivals.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "exp/seed.hpp"
+
+namespace now::serve {
+
+namespace {
+// Derive-seed stream ids for the per-client RNGs, disjoint from the small
+// task indices exp::run_sweep burns and from now::fault's streams 1-3.
+constexpr std::uint64_t kArrivalStream = 9;
+constexpr std::uint64_t kThinkStream = 10;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+const char* to_string(ThinkDist d) {
+  switch (d) {
+    case ThinkDist::kExponential: return "exponential";
+    case ThinkDist::kPareto: return "pareto";
+    case ThinkDist::kLognormal: return "lognormal";
+  }
+  return "?";
+}
+
+double DiurnalCurve::multiplier(sim::SimTime t) const {
+  if (amplitude == 0.0) return 1.0;
+  const double cycle =
+      static_cast<double>(t) / static_cast<double>(period);
+  const double m = 1.0 + amplitude * std::sin(kTwoPi * cycle + phase);
+  return m > 0.0 ? m : 0.0;
+}
+
+double DiurnalCurve::peak() const { return 1.0 + std::fabs(amplitude); }
+
+ClientPopulation::ClientPopulation(PopulationParams params,
+                                   std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  const double of = std::clamp(params_.open_fraction, 0.0, 1.0);
+  open_clients_ = static_cast<std::uint32_t>(
+      std::lround(of * static_cast<double>(params_.clients)));
+  think_rng_.reserve(params_.clients);
+  for (std::uint32_t c = 0; c < params_.clients; ++c) {
+    think_rng_.emplace_back(
+        exp::derive_seed(seed_, (kThinkStream << 32) | c), c);
+  }
+}
+
+std::vector<sim::SimTime> ClientPopulation::arrivals(
+    std::uint32_t client) const {
+  std::vector<sim::SimTime> out;
+  if (!is_open(client) || params_.offered_per_sec <= 0.0 ||
+      params_.horizon <= 0) {
+    return out;
+  }
+  // Thinning (Lewis-Shedler): draw a homogeneous Poisson stream at the
+  // diurnal peak rate, keep each candidate with probability
+  // multiplier(t)/peak.  Candidate times and accept draws both come from
+  // the client's private stream, so the schedule depends only on
+  // (seed, client) — never on how many other clients exist or when the
+  // caller asks.
+  const double rate =
+      params_.offered_per_sec / static_cast<double>(open_clients_);
+  const double peak = params_.diurnal.peak();
+  const double envelope_rate = rate * peak;
+  assert(envelope_rate > 0.0);
+  sim::Pcg32 rng(exp::derive_seed(seed_, (kArrivalStream << 32) | client),
+                 client);
+  const double horizon_sec = sim::to_sec(params_.horizon);
+  double t_sec = 0.0;
+  while (true) {
+    t_sec += rng.exponential(1.0 / envelope_rate);
+    if (t_sec >= horizon_sec) break;
+    const sim::SimTime t = sim::from_sec(t_sec);
+    if (t >= params_.horizon) break;  // integral-ns rounding guard
+    const double accept = rng.next_double() * peak;
+    if (accept <= params_.diurnal.multiplier(t)) out.push_back(t);
+  }
+  return out;
+}
+
+sim::Duration ClientPopulation::think_time(std::uint32_t client) {
+  sim::Pcg32& rng = think_rng_.at(client);
+  const double mean = params_.think_mean_ms;
+  double ms = mean;
+  switch (params_.think) {
+    case ThinkDist::kExponential:
+      ms = rng.exponential(mean);
+      break;
+    case ThinkDist::kPareto:
+      // Bounded Pareto over [mean/3, 200*mean]: most thinks are short,
+      // but the tail parks a client for hundreds of means at a time.
+      ms = rng.pareto(params_.pareto_alpha, mean / 3.0, mean * 200.0);
+      break;
+    case ThinkDist::kLognormal: {
+      // mu chosen so E[exp(N(mu, sigma^2))] = mean.
+      const double sigma = params_.lognormal_sigma;
+      const double mu = std::log(mean) - sigma * sigma / 2.0;
+      ms = std::exp(rng.normal(mu, sigma));
+      break;
+    }
+  }
+  return std::max<sim::Duration>(1, sim::from_ms(ms));
+}
+
+}  // namespace now::serve

@@ -1,0 +1,112 @@
+// now::serve — client populations for open-arrival request serving.
+//
+// Every bench so far replays a closed batch: N clients, each issuing the
+// next request only after the previous one completed.  A building acting
+// as one service (Gray's "Locally Served Network Computers": thin clients
+// firing millions of requests at a local cluster) does not behave like
+// that — requests keep *arriving* whether or not the cluster is keeping
+// up, which is exactly why overload shows up as a latency tail instead of
+// a throughput plateau.  ClientPopulation models that:
+//
+//   * open clients    — timer-driven Poisson arrivals, modulated by a
+//                       diurnal load curve (thinned non-homogeneous
+//                       Poisson), independent of completions;
+//   * closed clients  — the classic loop (issue, wait, think, repeat)
+//                       with exponential / bounded-Pareto / lognormal
+//                       think times, for hybrid populations;
+//   * determinism     — every draw comes from a per-client Pcg32 seeded
+//                       with exp::derive_seed(seed, stream|client), so a
+//                       population's entire arrival schedule is a pure
+//                       function of its seed: identical under --jobs 1
+//                       and --jobs N, and --threads-invariant because
+//                       serving workloads pin Partitioning::kAllGlobal.
+//
+// Open-arrival schedules are materialized up front (like FaultPlan's
+// stochastic draws): arrivals(c) returns the client's full timestamp
+// list, which is also what the golden-sequence test pins down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace now::serve {
+
+enum class ThinkDist : std::uint8_t {
+  kExponential,  // memoryless think times (Poisson closed loop)
+  kPareto,       // bounded Pareto: heavy-tailed bursts of activity
+  kLognormal,    // multiplicative human timing (log-space normal)
+};
+
+const char* to_string(ThinkDist d);
+
+/// Day/night load shape: multiplier(t) = max(0, 1 + amplitude *
+/// sin(2*pi*t/period + phase)).  amplitude 0 is a flat curve; 0.6 gives a
+/// 1.6x daytime peak over a 0.4x night trough.  Pure function of t, so it
+/// never perturbs determinism.
+struct DiurnalCurve {
+  double amplitude = 0.0;
+  sim::Duration period = 24 * sim::kHour;
+  /// Radians added to the phase; 0 puts the first peak a quarter period in.
+  double phase = 0.0;
+
+  double multiplier(sim::SimTime t) const;
+  /// Upper bound of multiplier() over all t (the thinning envelope).
+  double peak() const;
+};
+
+struct PopulationParams {
+  std::uint32_t clients = 16;
+  /// Fraction of clients issuing open arrivals; the rest run closed
+  /// loops.  Clients [0, open_clients()) are the open ones.
+  double open_fraction = 1.0;
+  /// Aggregate arrival rate (requests/second) across all open clients
+  /// when the diurnal multiplier is 1; split evenly between them.
+  double offered_per_sec = 200.0;
+  /// Closed-loop think-time distribution and its mean.
+  ThinkDist think = ThinkDist::kExponential;
+  double think_mean_ms = 50.0;
+  /// kPareto shape (smaller = heavier tail; support [mean/3, 200*mean]).
+  double pareto_alpha = 1.5;
+  /// kLognormal log-space standard deviation (mean is preserved).
+  double lognormal_sigma = 1.0;
+  DiurnalCurve diurnal;
+  /// No arrival is generated at or past this instant; closed loops stop
+  /// re-issuing once the clock reaches it.
+  sim::SimTime horizon = 30 * sim::kSecond;
+};
+
+class ClientPopulation {
+ public:
+  ClientPopulation(PopulationParams params, std::uint64_t seed);
+
+  std::uint32_t clients() const {
+    return static_cast<std::uint32_t>(params_.clients);
+  }
+  std::uint32_t open_clients() const { return open_clients_; }
+  bool is_open(std::uint32_t client) const { return client < open_clients_; }
+
+  /// Materializes `client`'s complete open-arrival schedule (sorted,
+  /// all < horizon) by thinning a homogeneous Poisson envelope down to
+  /// the diurnal rate.  Pure function of (seed, client): repeated calls
+  /// return identical vectors, in any call order.  Empty for closed
+  /// clients.
+  std::vector<sim::SimTime> arrivals(std::uint32_t client) const;
+
+  /// Draws `client`'s next closed-loop think time (advances the client's
+  /// private stream).  Always >= 1 ns.
+  sim::Duration think_time(std::uint32_t client);
+
+  const PopulationParams& params() const { return params_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  PopulationParams params_;
+  std::uint64_t seed_;
+  std::uint32_t open_clients_;
+  std::vector<sim::Pcg32> think_rng_;  // one stream per client
+};
+
+}  // namespace now::serve

@@ -1,0 +1,65 @@
+#include "serve/request_mix.hpp"
+
+#include <cassert>
+
+#include "exp/seed.hpp"
+
+namespace now::serve {
+
+namespace {
+constexpr std::uint64_t kMixStream = 11;  // disjoint from arrivals.cpp's 9/10
+}  // namespace
+
+const char* to_string(RequestOp op) {
+  switch (op) {
+    case RequestOp::kFileRead: return "file_read";
+    case RequestOp::kFileWrite: return "file_write";
+    case RequestOp::kCacheRead: return "cache_read";
+    case RequestOp::kCompute: return "compute";
+  }
+  return "?";
+}
+
+RequestMix::RequestMix(std::vector<RequestClass> classes, std::uint64_t seed)
+    : classes_(std::move(classes)), seed_(seed) {
+  assert(!classes_.empty());
+  double total = 0.0;
+  cum_weight_.reserve(classes_.size());
+  zipf_.reserve(classes_.size());
+  for (const RequestClass& rc : classes_) {
+    assert(rc.weight >= 0.0);
+    total += rc.weight;
+    cum_weight_.push_back(total);
+    zipf_.emplace_back(rc.working_set > 0 ? rc.working_set : 1, rc.zipf_s);
+  }
+  assert(total > 0.0 && "RequestMix needs at least one positive weight");
+}
+
+sim::Pcg32& RequestMix::rng(std::uint32_t client) {
+  auto it = rng_.find(client);
+  if (it == rng_.end()) {
+    // Lazily created, but the stream depends only on (seed, client), so
+    // creation order — and therefore sweep/thread scheduling — is
+    // irrelevant to the draws.
+    it = rng_.emplace(client,
+                      sim::Pcg32(exp::derive_seed(
+                                     seed_, (kMixStream << 32) | client),
+                                 client))
+             .first;
+  }
+  return it->second;
+}
+
+std::size_t RequestMix::pick_class(std::uint32_t client) {
+  const double u = rng(client).next_double() * cum_weight_.back();
+  for (std::size_t i = 0; i < cum_weight_.size(); ++i) {
+    if (u < cum_weight_[i]) return i;
+  }
+  return cum_weight_.size() - 1;
+}
+
+std::uint64_t RequestMix::pick_block(std::size_t cls, std::uint32_t client) {
+  return zipf_.at(cls).sample(rng(client));
+}
+
+}  // namespace now::serve

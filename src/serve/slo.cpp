@@ -1,0 +1,95 @@
+#include "serve/slo.hpp"
+
+#include <cassert>
+
+namespace now::serve {
+
+SloTracker::SloTracker(std::string prefix) : prefix_(std::move(prefix)) {}
+
+std::size_t SloTracker::add_class(const std::string& name,
+                                  sim::Duration slo) {
+  PerClass pc;
+  pc.name = name;
+  pc.slo = slo;
+  const std::string base = prefix_ + "." + name;
+  obs::MetricsRegistry& m = obs::metrics();
+  pc.obs_latency = &m.histogram(base + ".latency_us", 1.0, 1.02);
+  pc.obs_completed = &m.counter(base + ".completed");
+  pc.obs_failed = &m.counter(base + ".failed");
+  pc.obs_slo_miss = &m.counter(base + ".slo_miss");
+  classes_.push_back(std::move(pc));
+  return classes_.size() - 1;
+}
+
+void SloTracker::record(std::size_t cls, sim::Duration latency, bool ok) {
+  PerClass& pc = classes_.at(cls);
+  const double us = sim::to_us(latency);
+  pc.latency_us.add(us);
+  all_us_.add(us);
+  ++total_completed_;
+  pc.obs_latency->observe(us);
+  pc.obs_completed->inc();
+  if (ok) {
+    ++pc.ok;
+  } else {
+    ++pc.failed;
+    pc.obs_failed->inc();
+  }
+  if (ok && latency <= pc.slo) {
+    ++pc.slo_met;
+  } else {
+    pc.obs_slo_miss->inc();
+  }
+}
+
+namespace {
+void fill_latency(SloClassReport& r, const sim::Histogram& h) {
+  r.completed = h.count();
+  r.mean_ms = h.mean() / 1'000.0;
+  r.p50_ms = h.percentile(0.50) / 1'000.0;
+  r.p99_ms = h.percentile(0.99) / 1'000.0;
+  r.p999_ms = h.percentile(0.999) / 1'000.0;
+  r.max_ms = h.max() / 1'000.0;
+}
+}  // namespace
+
+SloClassReport SloTracker::report(std::size_t cls,
+                                  sim::Duration elapsed) const {
+  const PerClass& pc = classes_.at(cls);
+  SloClassReport r;
+  r.name = pc.name;
+  r.slo = pc.slo;
+  fill_latency(r, pc.latency_us);
+  r.ok = pc.ok;
+  r.failed = pc.failed;
+  r.slo_met = pc.slo_met;
+  r.attainment = r.completed > 0
+                     ? static_cast<double>(pc.slo_met) /
+                           static_cast<double>(r.completed)
+                     : 1.0;
+  r.goodput_per_sec =
+      elapsed > 0 ? static_cast<double>(pc.slo_met) / sim::to_sec(elapsed)
+                  : 0.0;
+  return r;
+}
+
+SloClassReport SloTracker::overall(sim::Duration elapsed) const {
+  SloClassReport r;
+  r.name = "all";
+  fill_latency(r, all_us_);
+  for (const PerClass& pc : classes_) {
+    r.ok += pc.ok;
+    r.failed += pc.failed;
+    r.slo_met += pc.slo_met;
+  }
+  r.attainment = r.completed > 0
+                     ? static_cast<double>(r.slo_met) /
+                           static_cast<double>(r.completed)
+                     : 1.0;
+  r.goodput_per_sec =
+      elapsed > 0 ? static_cast<double>(r.slo_met) / sim::to_sec(elapsed)
+                  : 0.0;
+  return r;
+}
+
+}  // namespace now::serve

@@ -1,0 +1,152 @@
+#include "serve/workload.hpp"
+
+#include <cassert>
+
+namespace now::serve {
+
+ServeWorkload::ServeWorkload(sim::Engine& engine, Backends backends,
+                             ServeConfig cfg)
+    : engine_(engine),
+      b_(backends),
+      cfg_(std::move(cfg)),
+      pop_(cfg_.population, cfg_.seed),
+      mix_(cfg_.classes, cfg_.seed),
+      obs_track_(obs::tracer().track("serve")) {
+  assert(!cfg_.client_nodes.empty());
+  for (std::size_t i = 0; i < mix_.size(); ++i) {
+    slo_.add_class(mix_.at(i).name, mix_.at(i).slo);
+  }
+  if (b_.xfs != nullptr) xfs_failed_seen_ = b_.xfs->stats().failed_ops;
+}
+
+void ServeWorkload::start() {
+  assert(!started_ && "start() is one-shot");
+  started_ = true;
+  for (std::uint32_t c = 0; c < pop_.clients(); ++c) {
+    if (pop_.is_open(c)) {
+      for (const sim::SimTime t : pop_.arrivals(c)) {
+        engine_.schedule_at(t, [this, c] { issue(c, /*closed=*/false); });
+      }
+    } else {
+      // Closed loop: the first request fires after one think time, which
+      // also staggers the closed clients' start instants.
+      schedule_closed(c);
+    }
+  }
+}
+
+bool ServeWorkload::xfs_op_failed() {
+  if (b_.xfs == nullptr) return false;
+  const std::uint64_t f = b_.xfs->stats().failed_ops;
+  const bool failed = f > xfs_failed_seen_;
+  xfs_failed_seen_ = f;
+  return failed;
+}
+
+void ServeWorkload::issue(std::uint32_t client, bool closed) {
+  ++arrivals_;
+  if (closed) {
+    ++closed_arrivals_;
+  } else {
+    ++open_arrivals_;
+  }
+  const std::size_t cls = mix_.pick_class(client);
+  const RequestClass& rc = mix_.at(cls);
+  const sim::SimTime t0 = engine_.now();
+  const net::NodeId node = node_of(client);
+
+  switch (rc.op) {
+    case RequestOp::kFileRead:
+    case RequestOp::kFileWrite: {
+      const xfs::BlockId block = mix_.pick_block(cls, client);
+      const bool is_write = rc.op == RequestOp::kFileWrite;
+      if (b_.central != nullptr) {
+        auto done = [this, client, cls, t0, closed](bool ok) {
+          finish(client, cls, t0, ok, closed);
+        };
+        if (is_write) {
+          b_.central->write(node, block, done);
+        } else {
+          b_.central->read(node, block, done);
+        }
+      } else {
+        assert(b_.xfs != nullptr &&
+               "file request class needs an xfs or central backend");
+        auto done = [this, client, cls, t0, closed] {
+          finish(client, cls, t0, !xfs_op_failed(), closed);
+        };
+        if (is_write) {
+          b_.xfs->write(node, block, done);
+        } else {
+          b_.xfs->read(node, block, done);
+        }
+      }
+      break;
+    }
+    case RequestOp::kCacheRead: {
+      assert(b_.coop != nullptr &&
+             "cache request class needs a coopcache backend");
+      const std::uint64_t block = mix_.pick_block(cls, client);
+      // CoopCacheSim resolves the access instantly; recover which level
+      // served it from the counter deltas and charge the study's cost for
+      // that level as simulated latency.
+      const auto before = b_.coop->results();
+      b_.coop->access(client % b_.coop->config().clients, block,
+                      /*is_write=*/false);
+      const auto& after = b_.coop->results();
+      sim::Duration cost = b_.coop_costs.server_disk;
+      if (after.local_hits > before.local_hits) {
+        cost = b_.coop_costs.local_hit;
+      } else if (after.remote_client_hits > before.remote_client_hits) {
+        cost = b_.coop_costs.remote_client;
+      } else if (after.server_mem_hits > before.server_mem_hits) {
+        cost = b_.coop_costs.server_mem;
+      }
+      engine_.schedule_in(cost, [this, client, cls, t0, closed] {
+        finish(client, cls, t0, /*ok=*/true, closed);
+      });
+      break;
+    }
+    case RequestOp::kCompute: {
+      assert(b_.glunix != nullptr &&
+             "compute request class needs a glunix backend");
+      b_.glunix->run_remote(rc.compute_work, rc.compute_memory_bytes,
+                            [this, client, cls, t0, closed](net::NodeId) {
+                              finish(client, cls, t0, /*ok=*/true, closed);
+                            });
+      break;
+    }
+  }
+}
+
+void ServeWorkload::finish(std::uint32_t client, std::size_t cls,
+                           sim::SimTime t0, bool ok, bool closed) {
+  ++completed_;
+  slo_.record(cls, engine_.now() - t0, ok);
+  obs::tracer().complete(node_of(client), obs_track_, mix_.at(cls).name,
+                         t0, engine_.now());
+  if (closed) schedule_closed(client);
+}
+
+void ServeWorkload::schedule_closed(std::uint32_t client) {
+  if (engine_.now() >= pop_.params().horizon) return;
+  engine_.schedule_in(pop_.think_time(client), [this, client] {
+    if (engine_.now() >= pop_.params().horizon) return;
+    issue(client, /*closed=*/true);
+  });
+}
+
+ServeTotals ServeWorkload::totals() const {
+  ServeTotals t;
+  t.arrivals = arrivals_;
+  t.open_arrivals = open_arrivals_;
+  t.closed_arrivals = closed_arrivals_;
+  t.completed = completed_;
+  t.offered_per_sec = pop_.params().horizon > 0
+                          ? static_cast<double>(arrivals_) /
+                                sim::to_sec(pop_.params().horizon)
+                          : 0.0;
+  return t;
+}
+
+}  // namespace now::serve

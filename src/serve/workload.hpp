@@ -1,0 +1,125 @@
+// now::serve — the serving driver: population x mix x SLOs over one
+// cluster.
+//
+// ServeWorkload is what turns the reproduction into a service.  It owns a
+// ClientPopulation (when requests arrive), a RequestMix (what each request
+// does), and an SloTracker (how the answer is judged), and drives them
+// against real backends:
+//
+//   file classes    -> xfs::Xfs (serverless) or xfs::CentralServerFs (the
+//                      incumbent), whichever the Backends struct carries;
+//   cache classes   -> coopcache::CoopCacheSim, charged at the study's
+//                      per-level costs (local / peer memory / server
+//                      memory / server disk);
+//   compute classes -> glunix::Glunix::run_remote — the job really queues
+//                      for an idle machine and really migrates.
+//
+// Determinism contract: every draw comes from seed-derived per-client
+// streams; open-arrival schedules are materialized before the first event
+// fires.  The workload touches many nodes' state per event (managers, the
+// central server, GLUnix), so clusters it drives must pin
+// Partitioning::kAllGlobal — --threads is then accepted but execution is
+// serial, making output trivially thread-count-invariant (see
+// DESIGN.md §13).
+//
+// Failure attribution: CentralServerFs reports success per op.  xFS calls
+// its completion even when the retry budget is exhausted and counts the
+// failure in stats().failed_ops; because that increment happens in the
+// same event as the completion callback, the workload attributes it to
+// the finishing request by watching the counter — valid while the
+// workload is the only xFS client issuing reads/writes (benches and
+// examples here always are).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coopcache/coopcache.hpp"
+#include "glunix/glunix.hpp"
+#include "obs/trace.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/request_mix.hpp"
+#include "serve/slo.hpp"
+#include "sim/engine.hpp"
+#include "xfs/central_server.hpp"
+#include "xfs/xfs.hpp"
+
+namespace now::serve {
+
+/// The subsystems requests are served by.  File classes need exactly one
+/// of xfs/central; cache classes need coop; compute classes need glunix.
+/// Null pointers for classes the mix never draws are fine.
+struct Backends {
+  xfs::Xfs* xfs = nullptr;
+  xfs::CentralServerFs* central = nullptr;
+  coopcache::CoopCacheSim* coop = nullptr;
+  glunix::Glunix* glunix = nullptr;
+  /// Per-level costs charged to kCacheRead requests.
+  coopcache::CacheCosts coop_costs;
+};
+
+struct ServeConfig {
+  PopulationParams population;
+  std::vector<RequestClass> classes;
+  /// Cluster node each population client issues from (client i uses
+  /// client_nodes[i % size]).  Must be non-empty.
+  std::vector<net::NodeId> client_nodes;
+  std::uint64_t seed = 1;
+};
+
+struct ServeTotals {
+  std::uint64_t arrivals = 0;  // requests issued
+  std::uint64_t open_arrivals = 0;
+  std::uint64_t closed_arrivals = 0;
+  std::uint64_t completed = 0;
+  /// arrivals / horizon — the offered load actually generated.
+  double offered_per_sec = 0.0;
+};
+
+class ServeWorkload {
+ public:
+  /// The workload must outlive the run; completions reference it.
+  ServeWorkload(sim::Engine& engine, Backends backends, ServeConfig cfg);
+  ServeWorkload(const ServeWorkload&) = delete;
+  ServeWorkload& operator=(const ServeWorkload&) = delete;
+
+  /// Schedules every open arrival (materialized up front) and arms the
+  /// closed loops.  Call once, then run the engine.
+  void start();
+
+  SloTracker& slo() { return slo_; }
+  const SloTracker& slo() const { return slo_; }
+  ClientPopulation& population() { return pop_; }
+  RequestMix& mix() { return mix_; }
+  ServeTotals totals() const;
+  /// Requests issued but not yet completed (in flight when the run ended).
+  std::uint64_t in_flight() const { return arrivals_ - completed_; }
+
+ private:
+  void issue(std::uint32_t client, bool closed);
+  void finish(std::uint32_t client, std::size_t cls, sim::SimTime t0,
+              bool ok, bool closed);
+  void schedule_closed(std::uint32_t client);
+  /// True iff xFS counted a new failed op since the last call (see the
+  /// attribution note in the header comment).
+  bool xfs_op_failed();
+  net::NodeId node_of(std::uint32_t client) const {
+    return cfg_.client_nodes[client % cfg_.client_nodes.size()];
+  }
+
+  sim::Engine& engine_;
+  Backends b_;
+  ServeConfig cfg_;
+  ClientPopulation pop_;
+  RequestMix mix_;
+  SloTracker slo_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t open_arrivals_ = 0;
+  std::uint64_t closed_arrivals_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t xfs_failed_seen_ = 0;
+  obs::TrackId obs_track_;
+  bool started_ = false;
+};
+
+}  // namespace now::serve

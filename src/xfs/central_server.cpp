@@ -23,6 +23,7 @@ CentralServerFs::CentralServerFs(proto::RpcLayer& rpc, os::Node& server,
       obs_reads_(&obs::metrics().counter("cfs.reads")),
       obs_writes_(&obs::metrics().counter("cfs.writes")),
       obs_failed_ops_(&obs::metrics().counter("cfs.failed_ops")),
+      obs_cold_restarts_(&obs::metrics().counter("central.cold_restarts")),
       obs_track_(obs::tracer().track("cfs")) {
   for (os::Node* c : clients) {
     clients_.emplace(c->id(), ClientState(params_.client_cache_blocks));
@@ -37,6 +38,20 @@ double CentralServerFs::availability() const {
 }
 
 void CentralServerFs::start() { install_server(); }
+
+void CentralServerFs::server_crashed() {
+  // The server's DRAM cache dies with the machine.  Before this hook the
+  // model wrongly kept the warm cache across the outage, which flattered
+  // the incumbent's recovery: the first post-restart reads hit memory
+  // instead of paying the disk.
+  server_cache_.clear();
+}
+
+void CentralServerFs::server_restarted() {
+  ++stats_.cold_restarts;
+  obs_cold_restarts_->inc();
+  obs::tracer().instant(server_.id(), obs_track_, "cold_restart");
+}
 
 void CentralServerFs::install_server() {
   rpc_.register_method(

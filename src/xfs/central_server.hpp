@@ -40,6 +40,10 @@ struct CentralFsStats {
   std::uint64_t server_mem_hits = 0;
   std::uint64_t server_disk_reads = 0;
   std::uint64_t failed_ops = 0;  // server down
+  /// Times the server came back with an empty memory cache (see
+  /// server_restarted()).  Every restart is a cold restart here — the
+  /// incumbent has no peers to refill from, which is the point.
+  std::uint64_t cold_restarts = 0;
 };
 
 /// A classic client/server network file system over the same RPC substrate
@@ -63,6 +67,14 @@ class CentralServerFs {
 
   /// Write-through to the server.
   void write(net::NodeId client, BlockId b, std::function<void(bool)> done);
+
+  /// Fault hooks, called by now::fault when the server node crashes and
+  /// recovers.  A crash drops the server's in-memory cache — DRAM does not
+  /// survive a power cycle — so the post-restart server serves every block
+  /// from disk until the cache re-warms.  (Client caches survive: only the
+  /// server machine died.)
+  void server_crashed();
+  void server_restarted();
 
   const CentralFsStats& stats() const { return stats_; }
   /// Fraction of issued operations that did NOT fail (1.0 before any op).
@@ -91,6 +103,7 @@ class CentralServerFs {
   obs::Counter* obs_reads_;
   obs::Counter* obs_writes_;
   obs::Counter* obs_failed_ops_;
+  obs::Counter* obs_cold_restarts_;
   obs::TrackId obs_track_;
 };
 
