@@ -58,6 +58,26 @@ struct DesignResult {
   std::uint64_t cold_restarts = 0;  // central only: server came back empty
 };
 
+// Cluster shape shared by both designs in one sweep point.  The original
+// Table rows use the 17-node flat default; the building-scale rows swap in
+// a 1024-workstation fat tree and move the clients around it.
+struct Shape {
+  std::uint32_t workstations = kClients + 1;
+  Fabric fabric = Fabric::kAtm;
+  net::HierarchicalParams building = net::building_now(32, 32, 4.0);
+  /// xFS storage servers per stripe group (0 = one RAID over everyone —
+  /// right for 17 nodes, absurd for 1024).
+  std::size_t stripe_group_size = 0;
+  /// The client node ids (node 0 is always the server / first manager).
+  std::vector<std::uint32_t> clients;
+
+  static Shape flat17() {
+    Shape s;
+    for (std::uint32_t i = 1; i <= kClients; ++i) s.clients.push_back(i);
+    return s;
+  }
+};
+
 // Node 0 dies every `period` of uptime and comes back kOutage later.
 fault::FaultPlan outage_plan(sim::Duration period) {
   fault::FaultPlan plan;
@@ -73,9 +93,11 @@ fault::FaultPlan outage_plan(sim::Duration period) {
 // with success, or with a timeout/retry-exhaustion failure — so
 // issued - ok is exactly the failure count.
 DesignResult run_central(sim::Duration period, exp::RunContext& ctx,
-                         unsigned threads) {
+                         unsigned threads, const Shape& shape) {
   ClusterConfig cfg;
-  cfg.workstations = kClients + 1;  // +1 server
+  cfg.workstations = shape.workstations;
+  cfg.fabric = shape.fabric;
+  cfg.building = shape.building;
   cfg.with_glunix = false;
   cfg.fault_plan = outage_plan(period);
   // --threads is accepted but the workload is not partition-clean: the
@@ -90,7 +112,7 @@ DesignResult run_central(sim::Duration period, exp::RunContext& ctx,
   xfs::CentralFsParams p;
   p.client_cache_blocks = 64;
   std::vector<os::Node*> clients;
-  for (std::uint32_t i = 1; i <= kClients; ++i) clients.push_back(&c.node(i));
+  for (const std::uint32_t i : shape.clients) clients.push_back(&c.node(i));
   xfs::CentralServerFs fs(c.rpc(), c.node(0), clients, p);
   fs.start();
   // Crashes of node 0 now drop the server's in-memory cache, so each
@@ -123,7 +145,7 @@ DesignResult run_central(sim::Duration period, exp::RunContext& ctx,
       fs.read(client, b, cont);
     }
   };
-  for (std::uint32_t cl = 1; cl <= kClients; ++cl) (*issue)(cl);
+  for (const std::uint32_t cl : shape.clients) (*issue)(cl);
   c.run_until(kHorizon + 10 * sim::kSecond);  // drain in-flight ops
   *issue = nullptr;
 
@@ -138,13 +160,15 @@ DesignResult run_central(sim::Duration period, exp::RunContext& ctx,
 }
 
 DesignResult run_xfs(sim::Duration period, exp::RunContext& ctx,
-                     unsigned threads) {
+                     unsigned threads, const Shape& shape) {
   ClusterConfig cfg;
-  cfg.workstations = kClients + 1;
+  cfg.workstations = shape.workstations;
+  cfg.fabric = shape.fabric;
+  cfg.building = shape.building;
   cfg.with_glunix = false;
   cfg.with_xfs = true;
   cfg.xfs.client_cache_blocks = 64;
-  cfg.stripe_group_size = 0;  // one RAID-5 across all seventeen disks
+  cfg.stripe_group_size = shape.stripe_group_size;
   cfg.fault_plan = outage_plan(period);
   // xFS manager/RAID traffic spans nodes; see run_central's note.
   cfg.threads = threads;
@@ -175,7 +199,7 @@ DesignResult run_xfs(sim::Duration period, exp::RunContext& ctx,
       c.fs().read(client, b, cont);
     }
   };
-  for (std::uint32_t cl = 1; cl <= kClients; ++cl) (*issue)(cl);
+  for (const std::uint32_t cl : shape.clients) (*issue)(cl);
   c.run_until(kHorizon + 10 * sim::kSecond);
   *issue = nullptr;
 
@@ -220,10 +244,12 @@ int main(int argc, char** argv) {
   const std::vector<std::string> names{"period_none", "period_60s",
                                        "period_30s", "period_15s"};
 
+  const Shape flat = Shape::flat17();
   const auto points = sweep.run(names, [&](now::exp::RunContext& ctx) {
     Point p;
-    p.central = run_central(periods[ctx.task_index], ctx, sweep.threads());
-    p.xfs = run_xfs(periods[ctx.task_index], ctx, sweep.threads());
+    p.central =
+        run_central(periods[ctx.task_index], ctx, sweep.threads(), flat);
+    p.xfs = run_xfs(periods[ctx.task_index], ctx, sweep.threads(), flat);
     return p;
   });
 
@@ -260,6 +286,75 @@ int main(int argc, char** argv) {
     json.value(names[i], "node0_crashes", static_cast<double>(xf.crashes));
     json.value(names[i], "xfs_takeovers", static_cast<double>(xf.takeovers));
     json.value(names[i], "xfs_rebuilds", static_cast<double>(xf.rebuilds));
+  }
+  // --- Building scale: the same duel inside a 1024-node fat tree --------
+  // Node 0 still serves (or managers) and still dies every 30 s; the
+  // cluster around it is now a building — racks of 32 on a 4:1
+  // oversubscribed spine — and the sixteen clients sit either in the
+  // server's own rack or spread one-per-rack across the building.  The
+  // availability verdict must not change with scale (it is a property of
+  // the design, not the fabric), while the latency column picks up the
+  // spine: that separation is the point of the section.
+  const std::uint32_t cap = now::bench::parse_nodes(argc, argv);
+  std::uint32_t bsize = cap == 0 ? 1024 : cap;
+  if (bsize < 64) bsize = 64;    // need >= 2 racks for a spread placement
+  if (bsize > 1024) bsize = 1024;
+  const std::uint32_t npr = 32;
+  const std::uint32_t racks = bsize / npr;
+  Shape in_rack;
+  in_rack.workstations = bsize;
+  in_rack.fabric = Fabric::kBuildingNow;
+  in_rack.building = now::net::building_now(racks, npr, 4.0);
+  in_rack.stripe_group_size = 8;  // xFS-style groups, not one 1024-disk RAID
+  for (std::uint32_t i = 1; i <= kClients; ++i) in_rack.clients.push_back(i);
+  Shape spread = in_rack;
+  spread.clients.clear();
+  for (std::uint32_t i = 1; i <= kClients; ++i) {
+    // Deal clients round-robin over the non-server racks.
+    const std::uint32_t rack = 1 + (i - 1) % (racks - 1);
+    const std::uint32_t slot = (i - 1) / (racks - 1);
+    spread.clients.push_back(rack * npr + slot);
+  }
+  const std::vector<std::pair<std::string, const Shape*>> placements{
+      {"rack-local", &in_rack}, {"cross-rack", &spread}};
+  std::vector<std::string> bnames;
+  for (const auto& [label, s] : placements) {
+    bnames.push_back("building_" + label);
+  }
+  const sim::Duration bperiod = 30 * now::sim::kSecond;
+  const std::size_t first_section = names.size();
+  const auto bpoints = sweep.run(bnames, [&](now::exp::RunContext& ctx) {
+    Point p;
+    const Shape& s = *placements[ctx.task_index - first_section].second;
+    p.central = run_central(bperiod, ctx, sweep.threads(), s);
+    p.xfs = run_xfs(bperiod, ctx, sweep.threads(), s);
+    return p;
+  });
+
+  now::bench::row("");
+  now::bench::row("building scale: %u workstations (%u racks of %u, 4:1 "
+                  "spine), node 0 fails every 30 s;", bsize, racks, npr);
+  now::bench::row("16 clients in the server's rack vs spread one-per-rack "
+                  "(--nodes caps the size)");
+  now::bench::row("");
+  now::bench::row("%-12s %9s %8s %5s %3s %9s %8s %6s %8s", "clients",
+                  "cen avail", "ms", "cold", "|", "xFS avail", "ms",
+                  "tkovr", "rebuilds");
+  for (std::size_t i = 0; i < bpoints.size(); ++i) {
+    const DesignResult& ce = bpoints[i].central;
+    const DesignResult& xf = bpoints[i].xfs;
+    now::bench::row(
+        "%-12s %8.1f%% %8.2f %5llu %3s %8.1f%% %8.2f %6llu %8llu",
+        placements[i].first.c_str(), 100.0 * ce.availability, ce.mean_ms,
+        static_cast<unsigned long long>(ce.cold_restarts), "|",
+        100.0 * xf.availability, xf.mean_ms,
+        static_cast<unsigned long long>(xf.takeovers),
+        static_cast<unsigned long long>(xf.rebuilds));
+    json.value(bnames[i], "central_availability", ce.availability);
+    json.value(bnames[i], "central_mean_ms", ce.mean_ms);
+    json.value(bnames[i], "xfs_availability", xf.availability);
+    json.value(bnames[i], "xfs_mean_ms", xf.mean_ms);
+    json.value(bnames[i], "workstations", bsize);
   }
   now::bench::row("");
   now::bench::row("expected shape: central availability tracks the one "

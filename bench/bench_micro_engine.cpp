@@ -9,8 +9,10 @@
 
 #include "coopcache/coopcache.hpp"
 #include "coopcache/lru.hpp"
+#include "net/hierarchical.hpp"
 #include "net/presets.hpp"
 #include "net/switched.hpp"
+#include "obs/metrics.hpp"
 #include "os/node.hpp"
 #include "proto/am.hpp"
 #include "proto/nic_mux.hpp"
@@ -136,6 +138,91 @@ void BM_AmRoundTrips(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_AmRoundTrips);
+
+// The per-port instrument pattern the fabrics moved away from: building a
+// dotted path and walking the registry map on every packet.  Paired with
+// BM_ObsGaugeCachedHandle below, this is the measured win of registering
+// gauge handles once at attach() time (SwitchedNetwork/HierarchicalNetwork
+// keep them in flat per-node vectors).
+void BM_ObsGaugeDottedLookup(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 256; ++i) {
+    reg.gauge("net.link" + std::to_string(i) + ".queue_us");
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    reg.gauge("net.link" + std::to_string(i & 255u) + ".queue_us")
+        .set(static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsGaugeDottedLookup);
+
+void BM_ObsGaugeCachedHandle(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  std::vector<obs::Gauge*> handles;
+  for (int i = 0; i < 256; ++i) {
+    handles.push_back(&reg.gauge("net.link" + std::to_string(i) +
+                                 ".queue_us"));
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    handles[i & 255u]->set(static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsGaugeCachedHandle);
+
+// Full per-packet path of the flat switched fabric: send() + the scheduled
+// finish/delivery events, 256 attached nodes, every send crossing the
+// switch.  Wall-clock cost per simulated packet.
+void BM_SwitchedSendHotPath(benchmark::State& state) {
+  sim::Engine eng;
+  net::SwitchedNetwork fabric(eng, net::myrinet());
+  constexpr std::uint32_t kNodes = 256;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    fabric.attach(n, [](net::Packet&&) {});
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    net::Packet p;
+    p.src = i & (kNodes - 1);
+    p.dst = (p.src + kNodes / 2) & (kNodes - 1);
+    p.size_bytes = 512;
+    fabric.send(std::move(p));
+    eng.run();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchedSendHotPath);
+
+// Same measurement through the hierarchical fat tree at building scale:
+// 1024 nodes in 32 racks, every packet cross-rack (4 links, 3 switch
+// crossings, trunk busy-horizon bookkeeping).  The SoA hot path keeps this
+// within sight of the flat fabric's cost despite doing twice the hops.
+void BM_HierarchicalSendHotPath(benchmark::State& state) {
+  sim::Engine eng;
+  net::HierarchicalNetwork fabric(eng, net::building_now(32, 32, 4.0));
+  constexpr std::uint32_t kNodes = 1024;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    fabric.attach(n, [](net::Packet&&) {});
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    net::Packet p;
+    p.src = i & (kNodes - 1);
+    p.dst = (p.src + kNodes / 2) & (kNodes - 1);
+    p.size_bytes = 512;
+    fabric.send(std::move(p));
+    eng.run();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchicalSendHotPath);
 
 void BM_LruCacheOps(benchmark::State& state) {
   coopcache::LruCache cache(1024);

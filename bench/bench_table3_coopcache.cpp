@@ -84,5 +84,91 @@ int main(int argc, char** argv) {
   now::bench::row("                cooperative caching  8%% miss, 1.6 ms");
   now::bench::row("paper claim: cooperative caching halves disk reads and "
                   "improves read performance ~80%%");
+
+  // --- Building scale ----------------------------------------------------
+  // The study stopped at 42 clients (one server's worth); a building-wide
+  // NOW has a thousand, behind 32-client racks and an oversubscribed
+  // spine.  Same replay, scaled: the shared working set grows with the
+  // client count (so the aggregate cache stays honest), the manager
+  // prefers same-rack holders, and a cross-rack peer fetch pays two extra
+  // switch crossings (+800 us on the study's ATM-era numbers).  Total
+  // trace size is held constant so every scale costs the same to run.
+  now::bench::row("");
+  now::bench::row("building scale: 32-client racks; cross-rack peer fetch "
+                  "2,050 us vs 1,250 us in-rack; --nodes caps the axis");
+  now::bench::row("");
+  now::bench::row("%-9s %-18s %10s %14s %8s %8s %14s", "clients", "policy",
+                  "miss rate", "read response", "local", "peer",
+                  "in-rack peers");
+
+  coopcache::CacheCosts bcosts;
+  bcosts.remote_client_cross_rack = sim::from_us(2'050);
+  const std::vector<std::uint32_t> scales =
+      now::bench::cap_axis({42, 256, 1024}, now::bench::parse_nodes(argc, argv));
+  const std::vector<coopcache::Policy> bpolicies{
+      coopcache::Policy::kClientServer, coopcache::Policy::kNChance};
+  struct BPoint {
+    std::uint32_t clients;
+    coopcache::Policy policy;
+  };
+  std::vector<BPoint> bpoints;
+  std::vector<std::string> bnames;
+  for (const std::uint32_t n : scales) {
+    for (const auto policy : bpolicies) {
+      bpoints.push_back({n, policy});
+      bnames.push_back("clients_" + std::to_string(n) + "_" +
+                       coopcache::policy_name(policy));
+    }
+  }
+  // Later sweep.run calls continue the global task-index space (so seeds
+  // stay unique); subtract the first section's points to index bpoints.
+  const std::size_t first_section = names.size();
+  const auto bresults = sweep.run(
+      bnames, [&](now::exp::RunContext& ctx) {
+        const BPoint& p = bpoints[ctx.task_index - first_section];
+        trace::FsWorkloadParams bwp = wp;
+        bwp.clients = p.clients;
+        bwp.accesses_per_client =
+            std::max<std::uint32_t>(wp.accesses_per_client * 42 / p.clients,
+                                    2'000);
+        bwp.shared_blocks = wp.shared_blocks * p.clients / 42;
+        const auto trace = trace::generate_fs_trace(bwp);
+        coopcache::CoopCacheConfig cfg;
+        cfg.clients = p.clients;
+        cfg.client_cache_blocks = 2'048;
+        cfg.server_cache_blocks = 16'384;
+        cfg.policy = p.policy;
+        cfg.rack_size = 32;
+        cfg.costs = bcosts;
+        cfg.seed = ctx.seed;
+        coopcache::CoopCacheSim sim(cfg);
+        const std::size_t warm = trace.size() * 2 / 5;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+          if (i == warm) sim.reset_stats();
+          sim.access(trace[i].client, trace[i].block, trace[i].is_write);
+        }
+        return sim.results();
+      });
+
+  for (std::size_t i = 0; i < bpoints.size(); ++i) {
+    const auto& r = bresults[i];
+    const double peers = static_cast<double>(r.remote_client_hits);
+    now::bench::row("%-9u %-18s %9.1f%% %11.2f ms %7.1f%% %7.1f%% %13.1f%%",
+                    bpoints[i].clients,
+                    coopcache::policy_name(bpoints[i].policy),
+                    100 * r.miss_rate(), r.mean_read_response_ms(bcosts),
+                    100 * r.local_hit_rate(),
+                    100 * peers / static_cast<double>(r.reads),
+                    peers > 0 ? 100 * static_cast<double>(
+                                          r.rack_local_peer_hits) /
+                                    peers
+                              : 0.0);
+  }
+  now::bench::row("");
+  now::bench::row("cooperation keeps paying at building scale: the "
+                  "aggregate cache grows with the building while the "
+                  "server's memory does not, and rack-preferring "
+                  "forwarding keeps part of the peer traffic off the "
+                  "oversubscribed spine.");
   return 0;
 }

@@ -231,6 +231,35 @@ inline unsigned parse_threads(int argc, char** argv) {
   return 1;
 }
 
+/// `--nodes N`: caller-interpreted cluster-size override shared by the
+/// building-scale benches (0 when absent).  Scaled benches treat it as a
+/// cap on their size axis — see cap_axis — so CI can run the same binary
+/// at 256 nodes that EXPERIMENTS.md runs at 1024+.
+inline std::uint32_t parse_nodes(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      return static_cast<std::uint32_t>(
+          std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// Applies a --nodes cap to a size axis: sizes above the cap are dropped;
+/// if the cap removes everything (or matches nothing exactly), the cap
+/// itself becomes a point, so `--nodes 256` always measures 256.  cap = 0
+/// (flag absent) leaves the axis untouched.
+inline std::vector<std::uint32_t> cap_axis(std::vector<std::uint32_t> sizes,
+                                           std::uint32_t cap) {
+  if (cap == 0) return sizes;
+  std::vector<std::uint32_t> out;
+  for (const std::uint32_t s : sizes) {
+    if (s <= cap) out.push_back(s);
+  }
+  if (out.empty() || out.back() != cap) out.push_back(cap);
+  return out;
+}
+
 /// Drives a bench's sweep points through now::exp::run_sweep behind the
 /// --jobs / --sweep-json / --seed flags.
 ///

@@ -1,0 +1,77 @@
+// A building-wide NOW: 256 workstations in racks of 32 behind a 4:1
+// oversubscribed spine — the fabric the paper's "building-sized computer"
+// actually gets wired with.  Shows the two prices of hierarchy: rack-local
+// RPCs ride one edge switch, cross-rack RPCs pay the spine, and when a
+// whole rack hammers one remote rack the thin trunks queue.
+//
+//   $ ./examples/building_now
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "net/hierarchical.hpp"
+
+int main() {
+  using namespace now;
+
+  ClusterConfig cfg;
+  cfg.workstations = 256;
+  cfg.fabric = Fabric::kBuildingNow;
+  cfg.building = net::building_now(/*racks=*/8, /*nodes_per_rack=*/32,
+                                   /*oversubscription=*/4.0);
+  cfg.with_glunix = false;
+  Cluster cluster(cfg);
+
+  auto& fabric = static_cast<net::HierarchicalNetwork&>(cluster.network());
+  std::printf("building NOW: %u workstations, %s\n\n", cluster.size(),
+              fabric.topology().describe().c_str());
+
+  constexpr proto::MethodId kEcho = 1;
+  for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+    cluster.rpc().register_method(
+        i, kEcho, [](net::NodeId, std::any req, proto::RpcLayer::ReplyFn r) {
+          r(64, std::move(req));
+        });
+  }
+
+  // One RPC within the rack, one across the building, measured unloaded.
+  const auto timed_call = [&](std::uint32_t src, std::uint32_t dst,
+                              const char* what) {
+    const sim::SimTime t0 = cluster.engine().now();
+    bool done = false;
+    cluster.rpc().call(src, dst, kEcho, 4096, std::any{}, [&](std::any) {
+      std::printf("  %-36s %2u -> %3u   %7.1f us\n", what, src, dst,
+                  sim::to_us(cluster.engine().now() - t0));
+      done = true;
+    });
+    cluster.run_for(10 * sim::kMillisecond);
+    if (!done) std::printf("  %s: lost?\n", what);
+  };
+  std::printf("unloaded 4 KB RPC:\n");
+  timed_call(0, 1, "rack-local (1 switch, 2 links)");
+  timed_call(0, 200, "cross-rack (3 switches, 4 links)");
+
+  // Now rack 0 collectively reads from rack 6: thirty-two 4 KB transfers
+  // converge on eight spine trunks at once and the tail stretches.
+  std::printf("\nrack 0 bursts 32 RPCs into rack 6 (4 KB each, 8 trunks):\n");
+  const sim::SimTime burst0 = cluster.engine().now();
+  auto last = std::make_shared<sim::SimTime>(0);
+  auto left = std::make_shared<int>(32);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    cluster.rpc().call(i, 6 * 32 + i, kEcho, 4096, std::any{},
+                       [&cluster, last, left](std::any) {
+                         *last = cluster.engine().now();
+                         --*left;
+                       });
+  }
+  cluster.run_for(50 * sim::kMillisecond);
+  std::printf("  %d outstanding; last reply after %.1f us\n", *left,
+              sim::to_us(*last - burst0));
+
+  const auto& hs = fabric.hier_stats();
+  std::printf("\nfabric saw %llu rack-local and %llu cross-rack packets.\n",
+              static_cast<unsigned long long>(hs.rack_local_packets),
+              static_cast<unsigned long long>(hs.cross_rack_packets));
+  std::printf("locality is the building's currency: stay in the rack when "
+              "you can.\n");
+  return 0;
+}

@@ -17,9 +17,14 @@ const char* policy_name(Policy p) {
 
 double CoopCacheResults::mean_read_response_ms(const CacheCosts& c) const {
   if (reads == 0) return 0.0;
+  // Peer hits split by locality; with the default costs (cross-rack ==
+  // in-rack) the split collapses to the original flat-building formula.
+  const std::uint64_t cross = remote_client_hits - rack_local_peer_hits;
   const double total_us =
       sim::to_us(c.local_hit) * static_cast<double>(local_hits) +
-      sim::to_us(c.remote_client) * static_cast<double>(remote_client_hits) +
+      sim::to_us(c.remote_client) *
+          static_cast<double>(rack_local_peer_hits) +
+      sim::to_us(c.remote_client_cross_rack) * static_cast<double>(cross) +
       sim::to_us(c.server_mem) * static_cast<double>(server_mem_hits) +
       sim::to_us(c.server_disk) * static_cast<double>(disk_reads);
   return total_us / static_cast<double>(reads) / 1000.0;
@@ -99,11 +104,21 @@ std::int64_t CoopCacheSim::find_holder(std::uint64_t block,
                                        std::uint32_t except) const {
   const auto it = directory_.find(block);
   if (it == directory_.end()) return -1;
-  // Deterministic choice: the smallest id other than the requester.
+  // Deterministic choice: the smallest id other than the requester — but
+  // with rack awareness a same-rack holder always beats a cross-rack one
+  // (the manager knows the topology; forwarding from the next rack over
+  // costs two extra switch crossings).
+  const std::uint32_t rs = config_.rack_size;
   std::int64_t best = -1;
+  bool best_local = false;
   for (const std::uint32_t c : it->second) {
     if (c == except) continue;
-    if (best < 0 || static_cast<std::int64_t>(c) < best) best = c;
+    const bool local = rs > 0 && c / rs == except / rs;
+    if (best < 0 || (local && !best_local) ||
+        (local == best_local && static_cast<std::int64_t>(c) < best)) {
+      best = c;
+      best_local = local;
+    }
   }
   return best;
 }
@@ -182,6 +197,11 @@ void CoopCacheSim::read(std::uint32_t client, std::uint64_t block) {
     const std::int64_t holder = find_holder(block, client);
     if (holder >= 0) {
       ++results_.remote_client_hits;
+      if (config_.rack_size > 0 &&
+          static_cast<std::uint32_t>(holder) / config_.rack_size ==
+              client / config_.rack_size) {
+        ++results_.rack_local_peer_hits;
+      }
       obs_remote_hits_->inc();
       client_caches_[static_cast<std::uint32_t>(holder)].touch(block);
       recirculations_.erase(block);

@@ -45,6 +45,11 @@ const char* policy_name(Policy p);
 struct CacheCosts {
   sim::Duration local_hit = sim::from_us(250);
   sim::Duration remote_client = sim::from_us(1'250);
+  /// A peer in *another rack* of a hierarchical building (two extra switch
+  /// crossings plus spine queueing).  Defaults to remote_client, so flat
+  /// (rack-less) configurations and every pre-building result are
+  /// unchanged; building-scale benches raise it.
+  sim::Duration remote_client_cross_rack = sim::from_us(1'250);
   sim::Duration server_mem = sim::from_us(1'050);
   sim::Duration server_disk = sim::from_us(15'850);
 };
@@ -61,6 +66,11 @@ struct CoopCacheConfig {
   /// Centrally coordinated: fraction of each client cache under global
   /// management.
   double coordinated_fraction = 0.8;
+  /// Clients per rack of the building's fabric (ids map in blocks, like
+  /// net::FatTreeTopology).  When > 0, forwarding prefers a same-rack
+  /// holder and results split peer hits by locality.  0 = flat building,
+  /// the original study's shape.
+  std::uint32_t rack_size = 0;
   CacheCosts costs;
   std::uint64_t seed = 1;
 };
@@ -70,6 +80,9 @@ struct CoopCacheResults {
   std::uint64_t writes = 0;
   std::uint64_t local_hits = 0;
   std::uint64_t remote_client_hits = 0;
+  /// Of remote_client_hits, how many were served from the requester's own
+  /// rack (only ever non-zero with rack_size > 0).
+  std::uint64_t rack_local_peer_hits = 0;
   std::uint64_t server_mem_hits = 0;
   std::uint64_t disk_reads = 0;
 

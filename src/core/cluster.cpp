@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/hierarchical.hpp"
 #include "net/presets.hpp"
 #include "net/shared_bus.hpp"
 #include "net/switched.hpp"
@@ -11,12 +12,12 @@
 namespace now {
 
 namespace {
-std::unique_ptr<net::Network> make_fabric(sim::Engine& engine, Fabric f,
-                                          std::uint64_t seed) {
-  switch (f) {
+std::unique_ptr<net::Network> make_fabric(sim::Engine& engine,
+                                          const ClusterConfig& cfg) {
+  switch (cfg.fabric) {
     case Fabric::kEthernet:
       return std::make_unique<net::SharedBusNetwork>(
-          engine, net::ethernet_10mbps(), seed);
+          engine, net::ethernet_10mbps(), cfg.seed);
     case Fabric::kAtm:
       return std::make_unique<net::SwitchedNetwork>(engine,
                                                     net::atm_155mbps());
@@ -25,6 +26,9 @@ std::unique_ptr<net::Network> make_fabric(sim::Engine& engine, Fabric f,
                                                     net::fddi_medusa());
     case Fabric::kMyrinet:
       return std::make_unique<net::SwitchedNetwork>(engine, net::myrinet());
+    case Fabric::kBuildingNow:
+      return std::make_unique<net::HierarchicalNetwork>(engine,
+                                                        cfg.building);
   }
   return nullptr;
 }
@@ -41,7 +45,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   // Trace timestamps follow this cluster's simulated clock.  Inside a run
   // context this binds the run's private tracer, not the process one.
   obs::tracer().set_clock(&engine_);
-  network_ = make_fabric(engine_, config_.fabric, config_.seed);
+  network_ = make_fabric(engine_, config_);
   mux_ = std::make_unique<proto::NicMux>(*network_);
   am_ = std::make_unique<proto::AmLayer>(*mux_, config_.am, config_.seed);
   rpc_ = std::make_unique<proto::RpcLayer>(*am_);
@@ -76,6 +80,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       pc.nodes = config_.workstations;
       pc.lookahead = lookahead;
       pc.relaxed_sync = config_.relaxed_sync;
+      if (config_.fabric == Fabric::kBuildingNow) {
+        // Align lane boundaries to edge switches: a rack never spans two
+        // lanes, so the whole rack-local event stream (the lookahead is
+        // exactly one edge hop) runs inside each epoch without a barrier.
+        pc.align = config_.building.topo.nodes_per_rack;
+      }
       // Workers must resolve obs::metrics()/obs::tracer()/NOW_LOG to the
       // same instances as the constructing thread (which may be inside a
       // sweep's ScopedRunContext), so capture the ambient bindings now and

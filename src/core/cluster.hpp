@@ -24,6 +24,8 @@
 #include "fault/fault.hpp"
 #include "glunix/glunix.hpp"
 #include "net/network.hpp"
+#include "net/presets.hpp"
+#include "net/topology.hpp"
 #include "netram/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -40,7 +42,16 @@
 
 namespace now {
 
-enum class Fabric { kEthernet, kAtm, kFddiMedusa, kMyrinet };
+enum class Fabric {
+  kEthernet,
+  kAtm,
+  kFddiMedusa,
+  kMyrinet,
+  /// Building-scale hierarchical fat tree: racks under edge switches,
+  /// spine trunks with a configurable oversubscription ratio.  Shape comes
+  /// from ClusterConfig::building (see net::building_now).
+  kBuildingNow,
+};
 
 /// Where a node's events execute in a multi-threaded run.
 enum class Partitioning {
@@ -59,6 +70,10 @@ enum class Partitioning {
 struct ClusterConfig {
   std::uint32_t workstations = 32;
   Fabric fabric = Fabric::kAtm;
+  /// Tree shape + per-link physics for Fabric::kBuildingNow (ignored by
+  /// the flat fabrics).  Default: racks of 32 on Myrinet-class links, 4:1
+  /// oversubscribed — override with net::building_now(...).
+  net::HierarchicalParams building = net::building_now(32, 32, 4.0);
   /// Template for every node; per-node CPU seeds are derived from it so
   /// local schedulers do not run in lockstep.
   os::NodeParams node;

@@ -25,6 +25,7 @@ void Network::attach(NodeId node, DeliveryHandler handler,
   p.rx_capacity = rx_buffer_bytes;
   p.rx_used = 0;
   p.in_use = true;
+  on_attach(node);
 }
 
 bool Network::attached(NodeId node) const {

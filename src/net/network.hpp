@@ -123,6 +123,12 @@ class Network {
   /// Hook for backends to react to set_domain (pre-sizing per-node state).
   virtual void on_domain_set() {}
 
+  /// Called at the end of attach(): backends size per-node link state and
+  /// register per-port instruments *here*, once, so the packet path does
+  /// pure indexed loads — no registry lookups, no grow-on-demand branches.
+  /// Runs on the construction thread, before any traffic.
+  virtual void on_attach(NodeId node) { (void)node; }
+
   Port* port(NodeId node);
   const Port* port(NodeId node) const;
   /// One past the highest attached node id (backends pre-size per-node

@@ -40,6 +40,21 @@ FabricParams myrinet() {
   return p;
 }
 
+HierarchicalParams building_now(std::uint32_t racks,
+                                std::uint32_t nodes_per_rack,
+                                double oversubscription) {
+  HierarchicalParams p;
+  p.fabric = myrinet();  // the paper's killer network, per hop
+  p.topo.racks = racks;
+  p.topo.nodes_per_rack = nodes_per_rack;
+  if (oversubscription < 1.0) oversubscription = 1.0;
+  const double uplinks =
+      static_cast<double>(nodes_per_rack) / oversubscription;
+  p.topo.uplinks_per_rack =
+      uplinks < 1.0 ? 1u : static_cast<std::uint32_t>(uplinks + 0.5);
+  return p;
+}
+
 FabricParams cm5_fabric() {
   FabricParams p;
   p.link_bandwidth_bps = 160e6;       // ~20 MB/s per link

@@ -6,6 +6,9 @@
 // under 4 us.
 #pragma once
 
+#include <cstdint>
+
+#include "net/topology.hpp"
 #include "net/types.hpp"
 
 namespace now::net {
@@ -24,5 +27,15 @@ FabricParams myrinet();
 
 /// CM-5 data network: 4 us across the machine, ~20 MB/s per link.
 FabricParams cm5_fabric();
+
+/// The building-wide NOW: `racks` racks of `nodes_per_rack` workstations
+/// under edge switches, Myrinet-class 640 Mb/s cut-through links with 1 us
+/// per switch crossing, and enough spine uplinks per rack for an
+/// `oversubscription`:1 ratio (1.0 = non-blocking fat tree; commodity
+/// buildings run 4:1 to 8:1).  Feed it to HierarchicalNetwork or
+/// ClusterConfig{fabric = Fabric::kBuildingNow}.
+HierarchicalParams building_now(std::uint32_t racks,
+                                std::uint32_t nodes_per_rack,
+                                double oversubscription);
 
 }  // namespace now::net

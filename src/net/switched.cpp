@@ -5,41 +5,23 @@
 
 namespace now::net {
 
-SwitchedNetwork::LinkState& SwitchedNetwork::uplink(NodeId n) {
-  if (n >= uplinks_.size()) uplinks_.resize(n + 1);
-  return uplinks_[n];
-}
-
-SwitchedNetwork::LinkState& SwitchedNetwork::downlink(NodeId n) {
-  if (n >= downlinks_.size()) downlinks_.resize(n + 1);
-  return downlinks_[n];
-}
-
-obs::Gauge& SwitchedNetwork::downlink_queue_gauge(NodeId n) {
-  if (n >= obs_downlink_q_.size()) obs_downlink_q_.resize(n + 1, nullptr);
-  if (obs_downlink_q_[n] == nullptr) {
-    obs_downlink_q_[n] = &obs::metrics().gauge(
-        "net.link" + std::to_string(n) + ".queue_us");
-  }
-  return *obs_downlink_q_[n];
-}
-
 sim::Duration SwitchedNetwork::unloaded_transit(std::uint32_t bytes) const {
   const sim::Duration ser = params_.serialization(bytes);
   return (params_.cut_through ? ser : 2 * ser) + params_.latency;
 }
 
-// Partitioned runs must not grow per-node vectors (or register gauges) from
-// concurrent lanes, so everything lazy is materialized up front.  Serial
-// runs keep the lazy behavior: their metric dumps list only the links that
-// actually carried traffic, exactly as before.
-void SwitchedNetwork::on_domain_set() {
-  if (domain() == nullptr) return;
-  const NodeId n = static_cast<NodeId>(port_count());
-  if (n == 0) return;
-  uplink(n - 1);
-  downlink(n - 1);
-  for (NodeId i = 0; i < n; ++i) downlink_queue_gauge(i);
+// Link state and the per-downlink gauge are sized/registered here, once per
+// node on the construction thread — nothing on the packet path grows a
+// vector or resolves a dotted path, and partitioned lanes never mutate
+// shared containers.
+void SwitchedNetwork::on_attach(NodeId node) {
+  if (node >= uplink_busy_.size()) {
+    uplink_busy_.resize(node + 1, 0);
+    downlink_busy_.resize(node + 1, 0);
+    obs_downlink_q_.resize(node + 1, nullptr);
+  }
+  obs_downlink_q_[node] = &obs::metrics().gauge(
+      "net.link" + std::to_string(node) + ".queue_us");
 }
 
 void SwitchedNetwork::send(Packet pkt) {
@@ -58,10 +40,10 @@ void SwitchedNetwork::send(Packet pkt) {
   // Serialize onto the source uplink (FIFO behind earlier packets).  The
   // uplink belongs to the sender, so under partitioning this state is
   // confined to the source lane.
-  LinkState& up = uplink(pkt.src);
-  const sim::SimTime up_start = std::max(pkt.sent_at, up.busy_until);
+  sim::SimTime& up = uplink_busy_[pkt.src];
+  const sim::SimTime up_start = std::max(pkt.sent_at, up);
   const sim::SimTime up_done = up_start + ser;
-  up.busy_until = up_done;
+  up = up_done;
 
   if (domain() != nullptr) {
     // Two-phase delivery: the downlink belongs to the receiver, and its
@@ -87,26 +69,26 @@ void SwitchedNetwork::send(Packet pkt) {
 // destination lane never lands in its past.
 void SwitchedNetwork::finish_send(Packet pkt, sim::SimTime up_start,
                                   sim::SimTime up_done, sim::Duration ser) {
-  LinkState& down = downlink(pkt.dst);
+  sim::SimTime& down = downlink_busy_[pkt.dst];
   sim::SimTime down_done;
   if (params_.cut_through) {
     // The head crosses the fabric while the tail is still serializing, so
     // an uncontended transfer finishes one serialization after it starts;
     // a busy downlink still queues the whole packet.
     const sim::SimTime head_at_dst = up_start + params_.latency;
-    const sim::SimTime down_start = std::max(head_at_dst, down.busy_until);
+    const sim::SimTime down_start = std::max(head_at_dst, down);
     down_done = std::max(down_start + ser, up_done + params_.latency);
   } else {
     // Store-and-forward: the switch holds the packet until it is complete.
     const sim::SimTime at_switch = up_done + params_.latency;
-    const sim::SimTime down_start = std::max(at_switch, down.busy_until);
+    const sim::SimTime down_start = std::max(at_switch, down);
     down_done = down_start + ser;
   }
-  down.busy_until = down_done;
+  down = down_done;
   if (obs::enabled()) {
     // Backlog on the destination link: how far its busy horizon extends
     // beyond the send instant (0 when uncontended).
-    downlink_queue_gauge(pkt.dst).set(
+    obs_downlink_q_[pkt.dst]->set(
         sim::to_us(down_done - pkt.sent_at - ser));
   }
 

@@ -32,24 +32,21 @@ class SwitchedNetwork final : public Network {
   sim::Duration unloaded_transit(std::uint32_t bytes) const;
 
  protected:
-  void on_domain_set() override;
+  void on_attach(NodeId node) override;
 
  private:
-  struct LinkState {
-    sim::SimTime busy_until = 0;
-  };
-
   void finish_send(Packet pkt, sim::SimTime up_start, sim::SimTime up_done,
                    sim::Duration ser);
-  LinkState& uplink(NodeId n);
-  LinkState& downlink(NodeId n);
-  obs::Gauge& downlink_queue_gauge(NodeId n);
 
   FabricParams params_;
-  std::vector<LinkState> uplinks_;
-  std::vector<LinkState> downlinks_;
+  // Flat SoA link state indexed by node id, sized at attach() time: the
+  // send path does two indexed loads, no growth checks.
+  std::vector<sim::SimTime> uplink_busy_;
+  std::vector<sim::SimTime> downlink_busy_;
   // Per-downlink queue-depth gauges ("net.link<N>.queue_us"), the Figure 4
-  // receive-contention signal, cached on first use.
+  // receive-contention signal.  Registered once per node at attach() — the
+  // packet path never touches the metrics registry (the dotted-path lookup
+  // it replaces is measured in bench_micro_engine's BM_ObsGauge* pair).
   std::vector<obs::Gauge*> obs_downlink_q_;
 };
 

@@ -1,0 +1,47 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace now::net {
+
+FatTreeTopology::FatTreeTopology(TopologyParams p) : p_(p) {
+  assert(p_.nodes_per_rack >= 1 && "a rack holds at least one node");
+  if (p_.uplinks_per_rack == 0) p_.uplinks_per_rack = 1;
+  // More trunks than hosts buys nothing: a host can only drive one link.
+  if (p_.uplinks_per_rack > p_.nodes_per_rack) {
+    p_.uplinks_per_rack = p_.nodes_per_rack;
+  }
+}
+
+double FatTreeTopology::oversubscription() const {
+  return static_cast<double>(p_.nodes_per_rack) /
+         static_cast<double>(p_.uplinks_per_rack);
+}
+
+Route FatTreeTopology::route(NodeId src, NodeId dst) const {
+  Route r;
+  r.src_rack = rack_of(src);
+  r.dst_rack = rack_of(dst);
+  r.rack_local = r.src_rack == r.dst_rack;
+  if (r.rack_local) {
+    r.switch_hops = 1;
+    r.links = 2;
+  } else {
+    r.spine = spine_of(dst);
+    r.switch_hops = 3;
+    r.links = 4;
+  }
+  return r;
+}
+
+std::string FatTreeTopology::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "%u nodes/rack, %u spine uplinks/rack (%.2g:1 %s)",
+                p_.nodes_per_rack, p_.uplinks_per_rack, oversubscription(),
+                oversubscription() > 1.0 ? "oversubscribed" : "non-blocking");
+  return buf;
+}
+
+}  // namespace now::net

@@ -1,0 +1,103 @@
+// Building-scale fabric topology: racks of workstations under edge
+// switches, spine uplinks, and deterministic fat-tree-style routing.
+//
+// The paper's vision is a *building-wide* NOW — thousands of machines, not
+// one lab.  A single crossbar does not wire a building; real installations
+// are hierarchical: each rack's nodes hang off an edge switch, and edge
+// switches reach each other through a spine layer whose aggregate trunk
+// bandwidth is usually *less* than the sum of the host links below it (the
+// oversubscription ratio, the defining knob of commodity cluster fabrics).
+//
+// This header is pure arithmetic — no time, no queues.  Given a node id it
+// answers "which rack", "which spine trunk", and "how many switch
+// crossings"; the HierarchicalNetwork turns those answers into per-hop
+// serialization and contention.  Routing is deterministic D-mod-k (cf.
+// SimGrid's FatTreeZone): the spine serving a packet is chosen by the
+// *destination* id alone, so every packet for one node rides the same
+// trunks, contention is reproducible, and no RNG touches the wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/types.hpp"
+
+namespace now::net {
+
+/// Shape of the two-level fat tree.  Node ids map onto racks in blocks:
+/// rack r owns nodes [r * nodes_per_rack, (r+1) * nodes_per_rack).
+struct TopologyParams {
+  /// Hosts under one edge switch.
+  std::uint32_t nodes_per_rack = 32;
+  /// Trunks from each edge switch up to the spine layer (= spines used).
+  /// The oversubscription ratio is nodes_per_rack / uplinks_per_rack:
+  /// 1 uplink per host is a non-blocking (1:1) tree, fewer is cheaper and
+  /// slower under cross-rack load.
+  std::uint32_t uplinks_per_rack = 8;
+  /// Expected rack count, used only to pre-size trunk state up front
+  /// (attach() grows it on demand either way).  0 = derive from traffic.
+  std::uint32_t racks = 0;
+};
+
+/// One resolved path through the tree (tests assert against these).
+struct Route {
+  bool rack_local = false;
+  std::uint32_t src_rack = 0;
+  std::uint32_t dst_rack = 0;
+  /// Spine index in [0, uplinks_per_rack); meaningful when !rack_local.
+  std::uint32_t spine = 0;
+  /// Switch crossings: 1 inside a rack (edge only), 3 across racks
+  /// (edge -> spine -> edge).
+  std::uint32_t switch_hops = 1;
+  /// Links occupied end to end: 2 inside a rack (host up, host down),
+  /// 4 across racks (host up, trunk up, trunk down, host down).
+  std::uint32_t links = 2;
+};
+
+/// Everything a hierarchical fabric needs: the per-link physics (shared by
+/// host links and spine trunks — commodity fabrics run the same wire both
+/// places, which is exactly why oversubscription bites) plus the tree shape.
+struct HierarchicalParams {
+  FabricParams fabric;
+  TopologyParams topo;
+};
+
+class FatTreeTopology {
+ public:
+  explicit FatTreeTopology(TopologyParams p);
+
+  std::uint32_t nodes_per_rack() const { return p_.nodes_per_rack; }
+  std::uint32_t uplinks_per_rack() const { return p_.uplinks_per_rack; }
+  std::uint32_t configured_racks() const { return p_.racks; }
+  /// nodes_per_rack / uplinks_per_rack — 1.0 is non-blocking.
+  double oversubscription() const;
+
+  std::uint32_t rack_of(NodeId n) const { return n / p_.nodes_per_rack; }
+  bool rack_local(NodeId a, NodeId b) const {
+    return rack_of(a) == rack_of(b);
+  }
+  /// D-mod-k spine selection: all traffic *to* one destination converges
+  /// on one spine, so trunk contention mirrors downlink contention.
+  std::uint32_t spine_of(NodeId dst) const {
+    return dst % p_.uplinks_per_rack;
+  }
+  /// Flat index of rack `r`'s trunk to spine `s` in the SoA trunk arrays.
+  std::size_t trunk_index(std::uint32_t rack, std::uint32_t spine) const {
+    return static_cast<std::size_t>(rack) * p_.uplinks_per_rack + spine;
+  }
+  /// Racks needed to cover node ids [0, max_node].
+  std::uint32_t racks_for(NodeId max_node) const {
+    return rack_of(max_node) + 1;
+  }
+
+  Route route(NodeId src, NodeId dst) const;
+
+  /// "32 racks x 32 nodes, 8 uplinks (4:1 oversubscribed)" — for bench
+  /// headers and traces.
+  std::string describe() const;
+
+ private:
+  TopologyParams p_;
+};
+
+}  // namespace now::net

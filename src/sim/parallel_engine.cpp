@@ -16,6 +16,14 @@ ParallelEngine::ParallelEngine(Engine& global, ParallelConfig cfg)
   assert(cfg_.nodes >= 1);
   assert(cfg_.lookahead > 0 && "partitioned execution needs lookahead > 0");
   assert(cfg_.relaxed_sync >= 1.0);
+  if (cfg_.align == 0) cfg_.align = 1;
+  // Lanes are dealt whole alignment groups (racks); more lanes than groups
+  // would leave the extras permanently idle.
+  groups_ = (static_cast<std::uint64_t>(cfg_.nodes) + cfg_.align - 1) /
+            cfg_.align;
+  if (cfg_.threads > groups_) {
+    cfg_.threads = static_cast<unsigned>(groups_);
+  }
   if (cfg_.threads > cfg_.nodes) cfg_.threads = cfg_.nodes;
   window_ = std::max<Duration>(
       1, static_cast<Duration>(static_cast<double>(cfg_.lookahead) *
