@@ -34,6 +34,7 @@
 
 #include "bench_util.hpp"
 #include "core/cluster.hpp"
+#include "net/placement.hpp"
 #include "sim/random.hpp"
 #include "xfs/central_server.hpp"
 
@@ -306,15 +307,10 @@ int main(int argc, char** argv) {
   in_rack.fabric = Fabric::kBuildingNow;
   in_rack.building = now::net::building_now(racks, npr, 4.0);
   in_rack.stripe_group_size = 8;  // xFS-style groups, not one 1024-disk RAID
-  for (std::uint32_t i = 1; i <= kClients; ++i) in_rack.clients.push_back(i);
+  in_rack.clients =
+      now::net::rack_local_clients(in_rack.building.topo, 0, kClients);
   Shape spread = in_rack;
-  spread.clients.clear();
-  for (std::uint32_t i = 1; i <= kClients; ++i) {
-    // Deal clients round-robin over the non-server racks.
-    const std::uint32_t rack = 1 + (i - 1) % (racks - 1);
-    const std::uint32_t slot = (i - 1) / (racks - 1);
-    spread.clients.push_back(rack * npr + slot);
-  }
+  spread.clients = now::net::spread_clients(spread.building.topo, 0, kClients);
   const std::vector<std::pair<std::string, const Shape*>> placements{
       {"rack-local", &in_rack}, {"cross-rack", &spread}};
   std::vector<std::string> bnames;

@@ -22,17 +22,30 @@
 // PR: DRAM does not survive a power cycle), while xFS re-points manager
 // duty in ~500 ms and serves degraded reads from the surviving stripes.
 //
+// Part two scales the population to the building (docs/
+// capacity-planning.md walks the numbers): thousands of streaming open
+// clients on Fabric::kBuildingNow, central backend only, comparing
+// rack-local placement (clients beside the server) against spread
+// placement (clients dealt across every other rack, all traffic over the
+// 4:1 oversubscribed spine).  Those cells run partitioned
+// (Partitioning::kNodeLocal, --threads N) with the ServeWorkload's state
+// lane-confined and SLO shards merged exactly at report time.
+//
 // Determinism: every cell is one exp::run_sweep point (--jobs N) whose
-// arrivals/mix draws derive from the point seed; serving pins
-// Partitioning::kAllGlobal (see DESIGN.md §13), so --threads is accepted
-// but execution is serial and stdout is byte-identical for any
-// --jobs/--threads combination.
+// arrivals/mix draws derive from the point seed.  The classic cells pin
+// Partitioning::kAllGlobal (xFS and the fault plan's shared services);
+// the building cells are partition-clean.  stdout is byte-identical for
+// any --jobs/--threads combination (DESIGN.md §13, §15).
+#include <sys/resource.h>
+
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/cluster.hpp"
 #include "exp/grid.hpp"
+#include "net/placement.hpp"
 #include "serve/workload.hpp"
 #include "xfs/central_server.hpp"
 
@@ -98,10 +111,10 @@ ClusterConfig base_config(bool with_fault, exp::RunContext& ctx,
     plan.crash_at(kCrashAt, 0).restart_at(kCrashAt + kOutage, 0);
     cfg.fault_plan = plan;
   }
-  // Serving drives shared services (the central server, xFS managers), so
-  // events touch many nodes' state: not partition-clean.  kAllGlobal keeps
-  // execution serial — --threads is accepted, output is byte-identical at
-  // any value by construction (DESIGN.md §13).
+  // The classic grid crosses backends and a fault plan; xFS events touch
+  // many nodes' state per event, so these cells stay serial (kAllGlobal —
+  // --threads accepted, byte-identical at any value).  The building cells
+  // below are partition-clean and genuinely use the lanes.
   cfg.threads = threads;
   cfg.partitioning = Partitioning::kAllGlobal;
   cfg.seed = ctx.seed;
@@ -156,6 +169,136 @@ CellResult run_xfs(double offered, bool with_fault, exp::RunContext& ctx,
   w.start();
   c.run_until(kHorizon + kDrain);
   return harvest(w);
+}
+
+// ---------------------------------------------------------------------------
+// Part two: building-wide serving.  One file server (node 0), thousands of
+// streaming thin clients multiplexed over the building's workstations, a
+// fat-tree fabric between them.  Read-heavy on purpose: once the server's
+// memory cache warms, latency is fabric round-trip plus server service
+// time, so the in-rack vs spread gap is the price of the spine — the
+// number a capacity planner actually needs.
+
+constexpr std::uint32_t kNodesPerRack = 32;
+constexpr double kOversub = 4.0;
+constexpr sim::SimTime kBldHorizon = 10 * sim::kSecond;
+constexpr sim::Duration kBldDrain = 2 * sim::kSecond;
+constexpr std::uint32_t kDefaultBldClients = 2048;
+
+const std::vector<double> kBldLoads{1000.0, 3000.0, 4000.0};
+const std::vector<std::string> kBldPlacements{"in-rack", "spread"};
+
+/// `--clients N`: building-section population size (default 2048).
+std::uint32_t parse_clients(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0) {
+      const auto n = static_cast<std::uint32_t>(
+          std::strtoul(argv[i + 1], nullptr, 10));
+      if (n > 0) return n;
+    }
+  }
+  return kDefaultBldClients;
+}
+
+serve::ServeConfig building_config(std::uint32_t clients, double offered,
+                                   std::vector<net::NodeId> nodes,
+                                   std::uint64_t seed, bool churn) {
+  serve::ServeConfig sc;
+  sc.population.clients = clients;
+  sc.population.open_fraction = 1.0;
+  sc.population.offered_per_sec = offered;
+  sc.population.horizon = kBldHorizon;
+  if (churn) {
+    // A compressed "day": one full diurnal period inside the horizon, so
+    // the run sees both the login rush at the peak and the quiet trough.
+    sc.population.diurnal.amplitude = 0.6;
+    sc.population.diurnal.period = 8 * sim::kSecond;
+    sc.population.sessions.mean_on = 3 * sim::kSecond;
+    sc.population.sessions.mean_off = 2 * sim::kSecond;
+  }
+  serve::RequestClass rd;
+  rd.name = "read";
+  rd.op = serve::RequestOp::kFileRead;
+  rd.weight = 1.0;
+  rd.slo = kReadSlo;
+  rd.working_set = kWorkingSet;
+  sc.classes = {rd};
+  sc.client_nodes = std::move(nodes);
+  sc.seed = seed;
+  return sc;
+}
+
+struct BldCell {
+  serve::ServeTotals totals;
+  serve::SloClassReport all;
+  std::uint64_t in_flight = 0;
+  /// Clients inside a login session at the diurnal peak (t = period/4);
+  /// the whole population when churn is off.
+  std::uint64_t sessions_at_peak = 0;
+};
+
+BldCell run_building(std::uint32_t nodes, std::uint32_t clients, bool spread,
+                     double offered, bool churn, std::uint64_t seed,
+                     unsigned threads) {
+  ClusterConfig cfg;
+  cfg.workstations = nodes;
+  cfg.fabric = Fabric::kBuildingNow;
+  cfg.building =
+      net::building_now(nodes / kNodesPerRack, kNodesPerRack, kOversub);
+  cfg.with_glunix = false;  // partition-clean: central fs + fabric only
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kNodeLocal;
+  cfg.seed = seed;
+  Cluster c(cfg);
+
+  // Node 0 is the building's one file server; every other workstation is
+  // a potential client.  Thin clients carry no block cache (capacity 0),
+  // so every read crosses the fabric and the two placements offer the
+  // server the identical remote load; the server cache is prewarmed so
+  // cells measure steady-state serving, not cold-disk warmup.
+  xfs::CentralFsParams p;
+  p.client_cache_blocks = 0;
+  std::vector<os::Node*> fs_clients;
+  for (std::uint32_t i = 1; i < nodes; ++i) fs_clients.push_back(&c.node(i));
+  xfs::CentralServerFs fs(c.rpc(), c.node(0), fs_clients, p);
+  fs.prewarm(kWorkingSet);
+  fs.start();
+
+  const auto placement =
+      spread ? net::spread_clients(cfg.building.topo, 0, clients)
+             : net::rack_local_clients(cfg.building.topo, 0, clients);
+
+  serve::Backends b;
+  b.central = &fs;
+  serve::ServeWorkload w(c.engine(), b,
+                         building_config(clients, offered, placement, seed,
+                                         churn),
+                         c.parallel_engine());
+  w.start();
+  c.run_until(kBldHorizon + kBldDrain);
+
+  BldCell r;
+  r.totals = w.totals();
+  r.all = w.slo().overall(kBldHorizon);
+  r.in_flight = w.in_flight();
+  r.sessions_at_peak = clients;
+  if (churn) {
+    // Walk fresh SessionTimeline copies (pure functions of the seed) and
+    // count who is logged in at the compressed day's peak.
+    const sim::SimTime peak = 2 * sim::kSecond;  // period/4
+    r.sessions_at_peak = 0;
+    for (std::uint32_t cl = 0; cl < clients; ++cl) {
+      serve::SessionTimeline tl = w.population().sessions(cl);
+      while (const auto s = tl.next()) {
+        if (s->login > peak) break;
+        if (s->logout > peak) {
+          ++r.sessions_at_peak;
+          break;
+        }
+      }
+    }
+  }
+  return r;
 }
 
 }  // namespace
@@ -254,5 +397,145 @@ int main(int argc, char** argv) {
                   "degraded reads, so its tail");
   now::bench::row("diverges from the incumbent's as load and faults "
                   "stack up.");
+
+  // ---- Part two: building-wide serving on the fat-tree fabric ----------
+  const std::uint32_t bld_clients = parse_clients(argc, argv);
+  std::vector<std::uint32_t> bld_sizes = now::bench::cap_axis(
+      {256, 1024}, now::bench::parse_nodes(argc, argv));
+  for (std::uint32_t& s : bld_sizes) {
+    // Whole racks only, and spread placement needs a rack besides the
+    // server's: clamp to multiples of 32, minimum two racks.
+    s = std::max<std::uint32_t>(64, s / kNodesPerRack * kNodesPerRack);
+  }
+
+  struct BldPoint {
+    std::uint32_t nodes;
+    bool spread;
+    double load;
+    bool churn;
+  };
+  std::vector<BldPoint> pts;
+  std::vector<std::string> bld_names;
+  for (const std::uint32_t n : bld_sizes) {
+    for (int pl = 0; pl < 2; ++pl) {
+      for (const double load : kBldLoads) {
+        pts.push_back({n, pl == 1, load, false});
+        bld_names.push_back("bld_" + std::to_string(n) + "n_" +
+                            (pl ? "spread" : "inrack") + "_" +
+                            std::to_string(static_cast<int>(load)) + "rps");
+      }
+    }
+  }
+  // One churn cell: the largest building, spread placement, low load —
+  // compared against its always-on twin below.
+  pts.push_back({bld_sizes.back(), true, kBldLoads.front(), true});
+  bld_names.push_back("bld_" + std::to_string(bld_sizes.back()) +
+                      "n_spread_" +
+                      std::to_string(static_cast<int>(kBldLoads.front())) +
+                      "rps_churn");
+
+  // Building points share the base seed (not per-point derived seeds) so
+  // in-rack and spread rows at the same size/load run the *identical*
+  // arrival schedule — the placement column is the only variable.
+  const std::size_t bld_base = grid.size();
+  const auto bld = sweep.run(bld_names, [&](now::exp::RunContext& ctx) {
+    const BldPoint& p = pts[ctx.task_index - bld_base];
+    return run_building(p.nodes, bld_clients, p.spread, p.load, p.churn,
+                        sweep.base_seed(), sweep.threads());
+  });
+
+  now::bench::row("");
+  now::bench::row("building-wide serving: %u streaming clients, central "
+                  "server at node 0, reads only",
+                  bld_clients);
+  now::bench::row("%6s %8s %9s %7s %9s %8s %8s %8s %7s %9s", "nodes",
+                  "clients", "placement", "load/s", "arrivals", "p50 ms",
+                  "p99 ms", "p999 ms", "attain", "goodput/s");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const BldPoint& p = pts[i];
+    if (p.churn) continue;  // churn subsection below
+    const BldCell& r = bld[i];
+    // Three decimals: below the knee the placement delta is tens of
+    // microseconds of fabric, and two would round it away.
+    now::bench::row(
+        "%6u %8u %9s %7d %9llu %8.3f %8.3f %8.3f %6.1f%% %9.1f", p.nodes,
+        bld_clients, p.spread ? "spread" : "in-rack",
+        static_cast<int>(p.load),
+        static_cast<unsigned long long>(r.totals.arrivals), r.all.p50_ms,
+        r.all.p99_ms, r.all.p999_ms, 100.0 * r.all.attainment,
+        r.all.goodput_per_sec);
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const BldPoint& p = pts[i];
+    const BldCell& r = bld[i];
+    json.value(bld_names[i], "nodes", static_cast<double>(p.nodes));
+    json.value(bld_names[i], "clients", static_cast<double>(bld_clients));
+    json.value(bld_names[i], "offered_per_sec", r.totals.offered_per_sec);
+    json.value(bld_names[i], "arrivals",
+               static_cast<double>(r.totals.arrivals));
+    json.value(bld_names[i], "completed",
+               static_cast<double>(r.all.completed));
+    json.value(bld_names[i], "failed", static_cast<double>(r.all.failed));
+    json.value(bld_names[i], "in_flight_at_end",
+               static_cast<double>(r.in_flight));
+    json.value(bld_names[i], "p50_ms", r.all.p50_ms);
+    json.value(bld_names[i], "p99_ms", r.all.p99_ms);
+    json.value(bld_names[i], "p999_ms", r.all.p999_ms);
+    json.value(bld_names[i], "attainment", r.all.attainment);
+    json.value(bld_names[i], "goodput_per_sec", r.all.goodput_per_sec);
+    json.value(bld_names[i], "sessions_at_peak",
+               static_cast<double>(r.sessions_at_peak));
+  }
+
+  // Churn subsection: same building, same load, but clients log in and
+  // out riding a compressed diurnal day instead of staying on.
+  const BldCell& churn = bld.back();
+  std::size_t twin = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const BldPoint& p = pts[i];
+    if (!p.churn && p.nodes == bld_sizes.back() && p.spread &&
+        p.load == kBldLoads.front()) {
+      twin = i;
+    }
+  }
+  now::bench::row("");
+  now::bench::row("session churn (%un spread, %d/s): mean-on 3 s / "
+                  "mean-off 2 s over an 8 s diurnal day",
+                  bld_sizes.back(), static_cast<int>(kBldLoads.front()));
+  now::bench::row("%-24s %12s %12s", "", "always-on", "churning");
+  now::bench::row("%-24s %12llu %12llu", "arrivals",
+                  static_cast<unsigned long long>(bld[twin].totals.arrivals),
+                  static_cast<unsigned long long>(churn.totals.arrivals));
+  now::bench::row(
+      "%-24s %12llu %12llu", "sessions live at peak",
+      static_cast<unsigned long long>(bld[twin].sessions_at_peak),
+      static_cast<unsigned long long>(churn.sessions_at_peak));
+  now::bench::row("%-24s %12.2f %12.2f", "p99 ms", bld[twin].all.p99_ms,
+                  churn.all.p99_ms);
+  now::bench::row("");
+  now::bench::row("expected shape: in-rack and spread rows at one load "
+                  "share an arrival schedule,");
+  now::bench::row("so below the knee their latency gap is the price of "
+                  "the oversubscribed spine -");
+  now::bench::row("tens of microseconds on a sub-millisecond floor.  Past "
+                  "the knee the one server");
+  now::bench::row("saturates and both placements collapse together: at "
+                  "building scale the central");
+  now::bench::row("bottleneck is the server, never the fabric, which is "
+                  "the paper's case against");
+  now::bench::row("central servers restated.  Churn only removes arrivals "
+                  "(logged-out clients stay");
+  now::bench::row("quiet): the churning column offers less load and even "
+                  "its peak live-session");
+  now::bench::row("count sits below the population.");
+
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  json.value("aggregate", "max_rss_mb",
+             static_cast<double>(ru.ru_maxrss) / 1024.0);
+  json.value("aggregate", "threads", static_cast<double>(sweep.threads()));
+  json.note("building cells stream arrivals through bounded k-way merge "
+            "state: rss stays flat in the horizon and is measurement, not "
+            "part of the deterministic surface");
   return 0;
 }

@@ -1,0 +1,50 @@
+#include "net/placement.hpp"
+
+#include <cassert>
+
+namespace now::net {
+
+std::vector<NodeId> rack_local_clients(const TopologyParams& topo,
+                                       NodeId server, std::uint32_t count) {
+  assert(topo.nodes_per_rack >= 2 && "need room for clients beside the server");
+  const std::uint32_t npr = topo.nodes_per_rack;
+  const NodeId base = (server / npr) * npr;
+  // The rack's nodes minus the server, in increasing id order.
+  std::vector<NodeId> slots;
+  slots.reserve(npr - 1);
+  for (std::uint32_t i = 0; i < npr; ++i) {
+    const NodeId n = base + i;
+    if (n != server) slots.push_back(n);
+  }
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(slots[i % slots.size()]);
+  }
+  return out;
+}
+
+std::vector<NodeId> spread_clients(const TopologyParams& topo,
+                                   NodeId server, std::uint32_t count) {
+  const std::uint32_t npr = topo.nodes_per_rack;
+  const std::uint32_t racks = topo.racks;
+  assert(racks >= 2 && "spread placement needs a rack besides the server's");
+  const std::uint32_t server_rack = server / npr;
+  // Every rack except the server's, in increasing order.
+  std::vector<std::uint32_t> other;
+  other.reserve(racks - 1);
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    if (r != server_rack) other.push_back(r);
+  }
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t rack = other[i % other.size()];
+    const std::uint32_t slot =
+        (i / static_cast<std::uint32_t>(other.size())) % npr;
+    out.push_back(rack * npr + slot);
+  }
+  return out;
+}
+
+}  // namespace now::net

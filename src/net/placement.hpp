@@ -1,0 +1,38 @@
+// Client-placement helpers for hierarchical (building-scale) fabrics.
+//
+// Every building bench asks the same two questions about where load
+// comes from: what if the clients sit *next to* the service (inside the
+// server's rack, all traffic one hop through the rack switch) and what
+// if they are *everywhere* (dealt round-robin across every other rack,
+// all traffic over the oversubscribed spine)?  Those two placements
+// bracket reality — a real population is some mixture — so capacity
+// planning reports both and reads the spread between them as the price
+// of the spine (docs/capacity-planning.md).
+//
+// Both helpers are pure functions of the topology parameters, so the
+// node lists — and everything downstream of them — are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace now::net {
+
+/// `count` client node ids inside `server`'s rack, skipping the server
+/// itself, in increasing id order; cycles over the rack's other nodes
+/// when `count` exceeds them (callers multiplex several clients onto one
+/// workstation, as ServeConfig::client_nodes does).  The rack must hold
+/// at least two nodes.
+std::vector<NodeId> rack_local_clients(const TopologyParams& topo,
+                                       NodeId server, std::uint32_t count);
+
+/// `count` client node ids dealt round-robin across every rack EXCEPT
+/// `server`'s — one per rack, then a second per rack, and so on, cycling
+/// through each rack's slots when `count` exceeds the remaining capacity.
+/// Requires at least two racks.
+std::vector<NodeId> spread_clients(const TopologyParams& topo,
+                                   NodeId server, std::uint32_t count);
+
+}  // namespace now::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "exp/seed.hpp"
 
@@ -13,6 +14,7 @@ namespace {
 // task indices exp::run_sweep burns and from now::fault's streams 1-3.
 constexpr std::uint64_t kArrivalStream = 9;
 constexpr std::uint64_t kThinkStream = 10;
+constexpr std::uint64_t kSessionStream = 12;  // 11 is kMixStream
 constexpr double kTwoPi = 6.283185307179586476925286766559;
 }  // namespace
 
@@ -35,6 +37,178 @@ double DiurnalCurve::multiplier(sim::SimTime t) const {
 
 double DiurnalCurve::peak() const { return 1.0 + std::fabs(amplitude); }
 
+// --- SessionTimeline -----------------------------------------------------
+
+SessionTimeline::SessionTimeline(const PopulationParams& params,
+                                 std::uint64_t seed, std::uint32_t client)
+    : rng_(exp::derive_seed(seed, (kSessionStream << 32) | client), client),
+      diurnal_(params.diurnal),
+      mean_on_sec_(sim::to_sec(params.sessions.mean_on)),
+      mean_off_sec_(sim::to_sec(params.sessions.mean_off)),
+      horizon_sec_(sim::to_sec(params.horizon)),
+      horizon_(params.horizon),
+      enabled_(params.sessions.enabled()) {
+  if (horizon_ <= 0) done_ = true;
+}
+
+std::optional<Session> SessionTimeline::next() {
+  if (done_) return std::nullopt;
+  if (!enabled_) {
+    // One session spanning the whole horizon; no RNG draws, so enabling
+    // churn later never perturbs the arrival/think streams of runs that
+    // keep it off.
+    done_ = true;
+    return Session{0, horizon_};
+  }
+  const double peak = diurnal_.peak();
+  if (first_) {
+    first_ = false;
+    // Warm start: the population is already in steady state at t = 0, so
+    // each client is logged in with the renewal-process odds, and (the
+    // exponential being memoryless) a client caught mid-session has a
+    // full Exp(mean_on) spell still ahead of it.
+    const double p_on = mean_on_sec_ / (mean_on_sec_ + mean_off_sec_);
+    if (rng_.bernoulli(p_on)) {
+      t_sec_ = rng_.exponential(mean_on_sec_);
+      Session s;
+      s.login = 0;
+      s.logout = std::min(std::max<sim::SimTime>(sim::from_sec(t_sec_), 1),
+                          horizon_);
+      return s;
+    }
+  }
+  // Next login by thinning: the login hazard is multiplier(t) / mean_off,
+  // so the logged-out population re-enters fastest at the diurnal peak.
+  while (true) {
+    t_sec_ += rng_.exponential(mean_off_sec_ / peak);
+    if (t_sec_ >= horizon_sec_) break;
+    const sim::SimTime login = sim::from_sec(t_sec_);
+    if (login >= horizon_) break;  // integral-ns rounding guard
+    const double accept = rng_.next_double() * peak;
+    if (accept > diurnal_.multiplier(login)) continue;
+    t_sec_ += rng_.exponential(mean_on_sec_);
+    Session s;
+    s.login = login;
+    s.logout = std::min(std::max<sim::SimTime>(sim::from_sec(t_sec_),
+                                               login + 1),
+                        horizon_);
+    return s;
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+// --- ArrivalStream -------------------------------------------------------
+
+ArrivalStream::ArrivalStream(const PopulationParams& params,
+                             std::uint64_t seed, std::uint32_t client,
+                             double per_client_rate)
+    : rng_(exp::derive_seed(seed, (kArrivalStream << 32) | client), client),
+      sessions_(params, seed, client),
+      diurnal_(params.diurnal),
+      client_(client),
+      peak_(params.diurnal.peak()),
+      horizon_sec_(sim::to_sec(params.horizon)),
+      horizon_(params.horizon) {
+  envelope_rate_ = per_client_rate * peak_;
+  if (per_client_rate <= 0.0 || horizon_ <= 0) {
+    done_ = true;
+    return;
+  }
+  cur_ = sessions_.next();
+  if (!cur_) done_ = true;
+}
+
+std::optional<sim::SimTime> ArrivalStream::next() {
+  // Thinning (Lewis-Shedler): a homogeneous Poisson envelope at the
+  // diurnal peak rate, each candidate kept with probability
+  // multiplier(t)/peak.  Candidate gaps and accept draws come from the
+  // client's private stream in a fixed order, and the session filter uses
+  // a *separate* stream — so enabling churn only removes arrivals, never
+  // moves the surviving timestamps, and with churn off the sequence is
+  // bit-identical to the original materialized schedule.
+  while (!done_) {
+    t_sec_ += rng_.exponential(1.0 / envelope_rate_);
+    if (t_sec_ >= horizon_sec_) break;
+    const sim::SimTime t = sim::from_sec(t_sec_);
+    if (t >= horizon_) break;  // integral-ns rounding guard
+    const double accept = rng_.next_double() * peak_;
+    if (accept > diurnal_.multiplier(t)) continue;  // thinned out
+    while (cur_ && cur_->logout <= t) cur_ = sessions_.next();
+    if (!cur_) break;               // logged out for the rest of the run
+    if (t < cur_->login) continue;  // logged out right now: never issued
+    return t;
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+// --- MergedArrivals ------------------------------------------------------
+
+MergedArrivals::MergedArrivals(const ClientPopulation& pop) {
+  streams_.reserve(pop.open_clients());
+  for (std::uint32_t c = 0; c < pop.open_clients(); ++c) {
+    ArrivalStream s = pop.stream(c);
+    if (auto t = s.next()) {
+      const auto index = static_cast<std::uint32_t>(streams_.size());
+      streams_.push_back(std::move(s));
+      heap_.push_back(Entry{*t, index});
+    }
+  }
+  // streams_ fills in client order, so comparing (time, index) is
+  // comparing (time, client) — the published merge order.
+  if (heap_.size() > 1) {
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  }
+}
+
+std::optional<Arrival> MergedArrivals::next() {
+  if (heap_.empty()) return std::nullopt;
+  Entry& top = heap_.front();
+  const Arrival out{top.time, streams_[top.index].client()};
+  if (auto t = streams_[top.index].next()) {
+    top.time = *t;  // same stream: time only moves forward
+  } else {
+    top = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return out;
+  }
+  sift_down(0);
+  return out;
+}
+
+void MergedArrivals::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  auto less = [&](const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.index < b.index);
+  };
+  while (true) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && less(heap_[l], heap_[best])) best = l;
+    if (r < n && less(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void MergedArrivals::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    const bool less =
+        heap_[i].time < heap_[parent].time ||
+        (heap_[i].time == heap_[parent].time &&
+         heap_[i].index < heap_[parent].index);
+    if (!less) return;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+// --- ClientPopulation ----------------------------------------------------
+
 ClientPopulation::ClientPopulation(PopulationParams params,
                                    std::uint64_t seed)
     : params_(params), seed_(seed) {
@@ -48,36 +222,25 @@ ClientPopulation::ClientPopulation(PopulationParams params,
   }
 }
 
+double ClientPopulation::per_client_rate() const {
+  if (open_clients_ == 0 || params_.offered_per_sec <= 0.0) return 0.0;
+  return params_.offered_per_sec / static_cast<double>(open_clients_);
+}
+
+ArrivalStream ClientPopulation::stream(std::uint32_t client) const {
+  const double rate = is_open(client) ? per_client_rate() : 0.0;
+  return ArrivalStream(params_, seed_, client, rate);
+}
+
+SessionTimeline ClientPopulation::sessions(std::uint32_t client) const {
+  return SessionTimeline(params_, seed_, client);
+}
+
 std::vector<sim::SimTime> ClientPopulation::arrivals(
     std::uint32_t client) const {
   std::vector<sim::SimTime> out;
-  if (!is_open(client) || params_.offered_per_sec <= 0.0 ||
-      params_.horizon <= 0) {
-    return out;
-  }
-  // Thinning (Lewis-Shedler): draw a homogeneous Poisson stream at the
-  // diurnal peak rate, keep each candidate with probability
-  // multiplier(t)/peak.  Candidate times and accept draws both come from
-  // the client's private stream, so the schedule depends only on
-  // (seed, client) — never on how many other clients exist or when the
-  // caller asks.
-  const double rate =
-      params_.offered_per_sec / static_cast<double>(open_clients_);
-  const double peak = params_.diurnal.peak();
-  const double envelope_rate = rate * peak;
-  assert(envelope_rate > 0.0);
-  sim::Pcg32 rng(exp::derive_seed(seed_, (kArrivalStream << 32) | client),
-                 client);
-  const double horizon_sec = sim::to_sec(params_.horizon);
-  double t_sec = 0.0;
-  while (true) {
-    t_sec += rng.exponential(1.0 / envelope_rate);
-    if (t_sec >= horizon_sec) break;
-    const sim::SimTime t = sim::from_sec(t_sec);
-    if (t >= params_.horizon) break;  // integral-ns rounding guard
-    const double accept = rng.next_double() * peak;
-    if (accept <= params_.diurnal.multiplier(t)) out.push_back(t);
-  }
+  ArrivalStream s = stream(client);
+  while (auto t = s.next()) out.push_back(*t);
   return out;
 }
 

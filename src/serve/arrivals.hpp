@@ -14,19 +14,28 @@
 //   * closed clients  — the classic loop (issue, wait, think, repeat)
 //                       with exponential / bounded-Pareto / lognormal
 //                       think times, for hybrid populations;
+//   * sessions        — optional login/logout churn riding the diurnal
+//                       curve: clients only generate traffic while a
+//                       session is live, and logins cluster at the
+//                       daytime peak (SessionTimeline);
 //   * determinism     — every draw comes from a per-client Pcg32 seeded
 //                       with exp::derive_seed(seed, stream|client), so a
 //                       population's entire arrival schedule is a pure
 //                       function of its seed: identical under --jobs 1
-//                       and --jobs N, and --threads-invariant because
-//                       serving workloads pin Partitioning::kAllGlobal.
+//                       and --jobs N and at any --threads value.
 //
-// Open-arrival schedules are materialized up front (like FaultPlan's
-// stochastic draws): arrivals(c) returns the client's full timestamp
-// list, which is also what the golden-sequence test pins down.
+// Schedules are *streamed*, not materialized: ArrivalStream generates one
+// client's arrivals lazily (O(1) state per client), and MergedArrivals
+// merges any client range through a bounded k-way heap — memory stays
+// O(clients) however long the horizon or high the rate, which is what
+// lets a population scale to thousands of thin clients.  arrivals()
+// still materializes one client's full schedule for tests and small
+// runs; golden tests pin that the two paths agree timestamp for
+// timestamp.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -57,6 +66,22 @@ struct DiurnalCurve {
   double peak() const;
 };
 
+/// Login/logout churn.  Disabled (the default) means every client is
+/// logged in for the whole horizon — byte-identical schedules to builds
+/// that predate sessions.  Enabled, each client alternates logged-in
+/// spells (mean `mean_on`) and logged-out gaps whose *login hazard* rides
+/// the diurnal curve (rate multiplier(t)/mean_off, Lewis-Shedler
+/// thinning): more of the population is live at the daytime peak, which
+/// is how a building's load curve actually moves.
+struct SessionParams {
+  /// Mean logged-in spell.  0 disables churn.
+  sim::Duration mean_on = 0;
+  /// Mean logged-out gap at diurnal multiplier 1.  0 disables churn.
+  sim::Duration mean_off = 0;
+
+  bool enabled() const { return mean_on > 0 && mean_off > 0; }
+};
+
 struct PopulationParams {
   std::uint32_t clients = 16;
   /// Fraction of clients issuing open arrivals; the rest run closed
@@ -73,9 +98,115 @@ struct PopulationParams {
   /// kLognormal log-space standard deviation (mean is preserved).
   double lognormal_sigma = 1.0;
   DiurnalCurve diurnal;
+  /// Login/logout churn layer (applies to open and closed clients).
+  SessionParams sessions;
   /// No arrival is generated at or past this instant; closed loops stop
   /// re-issuing once the clock reaches it.
   sim::SimTime horizon = 30 * sim::kSecond;
+};
+
+/// One logged-in spell, [login, logout), clipped to the horizon.
+struct Session {
+  sim::SimTime login = 0;
+  sim::SimTime logout = 0;
+};
+
+/// Lazy generator of one client's login/logout intervals.  Pure function
+/// of (seed, client): any number of independently constructed timelines
+/// for the same client yield the identical interval sequence, so the
+/// arrival filter and the sessions_active gauge can each walk their own
+/// copy without coordinating.  With churn disabled it yields exactly one
+/// session spanning [0, horizon) and draws nothing from the RNG.
+class SessionTimeline {
+ public:
+  SessionTimeline(const PopulationParams& params, std::uint64_t seed,
+                  std::uint32_t client);
+
+  /// Next logged-in interval with login < horizon, in increasing order;
+  /// nullopt once the horizon is exhausted.
+  std::optional<Session> next();
+
+ private:
+  sim::Pcg32 rng_;
+  DiurnalCurve diurnal_;
+  double mean_on_sec_ = 0.0;
+  double mean_off_sec_ = 0.0;
+  double horizon_sec_ = 0.0;
+  sim::SimTime horizon_ = 0;
+  double t_sec_ = 0.0;  // generation cursor
+  bool enabled_ = false;
+  bool done_ = false;
+  bool first_ = true;
+};
+
+/// Lazy generator of one open client's arrival instants: a homogeneous
+/// Poisson envelope at the diurnal peak rate, thinned to the diurnal
+/// curve (Lewis-Shedler) and filtered to logged-in session intervals.
+/// O(1) state per client — one RNG, one cursor, one session window.  The
+/// draw sequence is identical to the materialized path, so
+/// ClientPopulation::arrivals(c) == collecting stream(c) to exhaustion.
+class ArrivalStream {
+ public:
+  ArrivalStream(const PopulationParams& params, std::uint64_t seed,
+                std::uint32_t client, double per_client_rate);
+
+  std::uint32_t client() const { return client_; }
+
+  /// Next arrival instant < horizon, strictly increasing; nullopt once
+  /// the horizon is exhausted.
+  std::optional<sim::SimTime> next();
+
+ private:
+  sim::Pcg32 rng_;
+  SessionTimeline sessions_;
+  DiurnalCurve diurnal_;
+  std::uint32_t client_ = 0;
+  double envelope_rate_ = 0.0;  // per-client rate * diurnal peak
+  double peak_ = 1.0;
+  double horizon_sec_ = 0.0;
+  sim::SimTime horizon_ = 0;
+  double t_sec_ = 0.0;
+  std::optional<Session> cur_;  // current/next session window
+  bool done_ = false;
+};
+
+/// One merged arrival: when, and whose.
+struct Arrival {
+  sim::SimTime time = 0;
+  std::uint32_t client = 0;
+
+  bool operator==(const Arrival&) const = default;
+};
+
+class ClientPopulation;
+
+/// Bounded k-way merge of every open client's ArrivalStream, ordered by
+/// (time, client).  Memory is O(open clients) — one stream plus one
+/// pending arrival each — at any population size, horizon, or rate; this
+/// is the building-scale replacement for materializing per-client
+/// schedule vectors.  next() is amortized O(log k).
+class MergedArrivals {
+ public:
+  explicit MergedArrivals(const ClientPopulation& pop);
+
+  /// Open-client streams still live in the heap.
+  std::size_t streams() const { return heap_.size(); }
+
+  /// Next arrival across the whole population; nullopt when every stream
+  /// is exhausted.
+  std::optional<Arrival> next();
+
+ private:
+  struct Entry {
+    sim::SimTime time;
+    std::uint32_t index;  // into streams_
+  };
+
+  void sift_down(std::size_t i);
+  void sift_up(std::size_t i);
+
+  std::vector<ArrivalStream> streams_;
+  std::vector<Entry> heap_;  // min-heap on (time, streams_[index].client())
 };
 
 class ClientPopulation {
@@ -88,16 +219,28 @@ class ClientPopulation {
   std::uint32_t open_clients() const { return open_clients_; }
   bool is_open(std::uint32_t client) const { return client < open_clients_; }
 
-  /// Materializes `client`'s complete open-arrival schedule (sorted,
-  /// all < horizon) by thinning a homogeneous Poisson envelope down to
-  /// the diurnal rate.  Pure function of (seed, client): repeated calls
-  /// return identical vectors, in any call order.  Empty for closed
-  /// clients.
+  /// `client`'s lazy arrival generator (empty stream for closed clients).
+  /// Streams are independent: any call order, any number of copies.
+  ArrivalStream stream(std::uint32_t client) const;
+
+  /// `client`'s lazy session timeline (login/logout churn; one full-
+  /// horizon session when churn is disabled).
+  SessionTimeline sessions(std::uint32_t client) const;
+
+  /// Materializes `client`'s complete open-arrival schedule by running
+  /// its stream to exhaustion.  Pure function of (seed, client); the
+  /// reference the golden equivalence tests hold MergedArrivals against.
+  /// O(arrivals) memory — building-scale callers use stream()/
+  /// MergedArrivals instead.
   std::vector<sim::SimTime> arrivals(std::uint32_t client) const;
 
   /// Draws `client`'s next closed-loop think time (advances the client's
   /// private stream).  Always >= 1 ns.
   sim::Duration think_time(std::uint32_t client);
+
+  /// Per-open-client arrival rate at diurnal multiplier 1 (0 when there
+  /// are no open clients).
+  double per_client_rate() const;
 
   const PopulationParams& params() const { return params_; }
   std::uint64_t seed() const { return seed_; }

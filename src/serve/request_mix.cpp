@@ -35,19 +35,22 @@ RequestMix::RequestMix(std::vector<RequestClass> classes, std::uint64_t seed)
   assert(total > 0.0 && "RequestMix needs at least one positive weight");
 }
 
-sim::Pcg32& RequestMix::rng(std::uint32_t client) {
-  auto it = rng_.find(client);
-  if (it == rng_.end()) {
-    // Lazily created, but the stream depends only on (seed, client), so
-    // creation order — and therefore sweep/thread scheduling — is
-    // irrelevant to the draws.
-    it = rng_.emplace(client,
-                      sim::Pcg32(exp::derive_seed(
-                                     seed_, (kMixStream << 32) | client),
-                                 client))
-             .first;
+void RequestMix::ensure_clients(std::uint32_t n) {
+  rng_.reserve(n);
+  while (rng_.size() < n) {
+    const auto client = static_cast<std::uint32_t>(rng_.size());
+    rng_.emplace_back(exp::derive_seed(seed_, (kMixStream << 32) | client),
+                      client);
   }
-  return it->second;
+}
+
+sim::Pcg32& RequestMix::rng(std::uint32_t client) {
+  // Serial growth path; lane-partitioned drivers call ensure_clients()
+  // first so this never reallocates under their feet.  Either way the
+  // stream depends only on (seed, client): creation order is irrelevant
+  // to the draws.
+  if (client >= rng_.size()) ensure_clients(client + 1);
+  return rng_[client];
 }
 
 std::size_t RequestMix::pick_class(std::uint32_t client) {

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -55,6 +54,14 @@ class RequestMix {
   std::size_t size() const { return classes_.size(); }
   const RequestClass& at(std::size_t i) const { return classes_.at(i); }
 
+  /// Pre-creates the per-client streams for clients [0, n).  Each stream
+  /// depends only on (seed, client) — eager creation draws nothing — so
+  /// this changes no sequence; it exists because lane-partitioned runs
+  /// draw for *different* clients concurrently, and pre-sizing makes
+  /// those draws touch disjoint, never-reallocated slots.  Serial callers
+  /// can skip it: rng() grows the table on demand.
+  void ensure_clients(std::uint32_t n);
+
   /// Draws the class index of `client`'s next request (weighted).
   std::size_t pick_class(std::uint32_t client);
 
@@ -70,7 +77,7 @@ class RequestMix {
   std::vector<RequestClass> classes_;
   std::vector<double> cum_weight_;  // inclusive prefix sums
   std::vector<sim::ZipfSampler> zipf_;
-  std::unordered_map<std::uint32_t, sim::Pcg32> rng_;  // per client, lazy
+  std::vector<sim::Pcg32> rng_;  // per client, indexed by client id
   std::uint64_t seed_;
 };
 

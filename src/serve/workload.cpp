@@ -5,34 +5,90 @@
 namespace now::serve {
 
 ServeWorkload::ServeWorkload(sim::Engine& engine, Backends backends,
-                             ServeConfig cfg)
+                             ServeConfig cfg, sim::ExecDomain* domain)
     : engine_(engine),
+      domain_(domain),
       b_(backends),
       cfg_(std::move(cfg)),
       pop_(cfg_.population, cfg_.seed),
       mix_(cfg_.classes, cfg_.seed),
       obs_track_(obs::tracer().track("serve")) {
   assert(!cfg_.client_nodes.empty());
+  assert((domain_ == nullptr ||
+          (b_.xfs == nullptr && b_.coop == nullptr &&
+           b_.glunix == nullptr)) &&
+         "only the central backend is lane-clean; xFS/coop/GLUnix "
+         "workloads must run serial (domain == nullptr)");
   for (std::size_t i = 0; i < mix_.size(); ++i) {
     slo_.add_class(mix_.at(i).name, mix_.at(i).slo);
   }
+  const unsigned lanes = domain_ != nullptr ? domain_->lanes() : 1;
+  slo_.set_lanes(lanes);
+  lane_counts_.assign(lanes, LaneCounters{});
+  mix_.ensure_clients(pop_.clients());
+  sessions_gauge_ = &obs::metrics().gauge("serve.sessions_active");
   if (b_.xfs != nullptr) xfs_failed_seen_ = b_.xfs->stats().failed_ops;
 }
 
 void ServeWorkload::start() {
   assert(!started_ && "start() is one-shot");
   started_ = true;
-  for (std::uint32_t c = 0; c < pop_.clients(); ++c) {
-    if (pop_.is_open(c)) {
-      for (const sim::SimTime t : pop_.arrivals(c)) {
-        engine_.schedule_at(t, [this, c] { issue(c, /*closed=*/false); });
-      }
-    } else {
-      // Closed loop: the first request fires after one think time, which
-      // also staggers the closed clients' start instants.
-      schedule_closed(c);
-    }
+  // Open clients: one lazy arrival chain each — the engine holds at most
+  // one pending arrival per client, and the stream behind it is O(1)
+  // state, so queue depth and memory stay O(clients) at any horizon.
+  open_streams_.reserve(pop_.open_clients());
+  for (std::uint32_t c = 0; c < pop_.open_clients(); ++c) {
+    open_streams_.push_back(pop_.stream(c));
   }
+  for (std::uint32_t c = 0; c < pop_.open_clients(); ++c) arm_open(c);
+  // Closed loop: the first request fires after one think time, which
+  // also staggers the closed clients' start instants.
+  closed_sessions_.reserve(pop_.clients() - pop_.open_clients());
+  for (std::uint32_t c = pop_.open_clients(); c < pop_.clients(); ++c) {
+    ClosedSession cs{pop_.sessions(c), std::nullopt};
+    cs.window = cs.timeline.next();
+    closed_sessions_.push_back(std::move(cs));
+    schedule_closed(c);
+  }
+  if (!pop_.params().sessions.enabled()) {
+    // No churn: the whole population is logged in for the whole run.
+    sessions_gauge_->set(static_cast<double>(pop_.clients()));
+    return;
+  }
+  presence_.reserve(pop_.clients());
+  for (std::uint32_t c = 0; c < pop_.clients(); ++c) {
+    presence_.push_back(pop_.sessions(c));
+  }
+  for (std::uint32_t c = 0; c < pop_.clients(); ++c) {
+    arm_presence(c, presence_[c].next());
+  }
+}
+
+void ServeWorkload::arm_open(std::uint32_t client) {
+  if (auto t = open_streams_[client].next()) {
+    engine_of(client).schedule_at(*t, [this, client] {
+      issue(client, /*closed=*/false);
+      arm_open(client);
+    });
+  }
+}
+
+void ServeWorkload::arm_presence(std::uint32_t client,
+                                 std::optional<Session> window) {
+  // Login/logout bookkeeping rides the client's own lane; Gauge::add is
+  // atomic and commutative, and the lane tally is shard-local, so the
+  // live headcount needs no lock and no cross-lane message.
+  if (!window) return;
+  engine_of(client).schedule_at(
+      window->login, [this, client, logout = window->logout] {
+        sessions_gauge_->add(1.0);
+        ++lane_counts_[lane_of(client)].sessions;
+        engine_of(client).schedule_at(logout, [this, client] {
+          sessions_gauge_->add(-1.0);
+          --lane_counts_[lane_of(client)].sessions;
+          arm_presence(client, presence_[client].next());
+        });
+      });
 }
 
 bool ServeWorkload::xfs_op_failed() {
@@ -44,15 +100,16 @@ bool ServeWorkload::xfs_op_failed() {
 }
 
 void ServeWorkload::issue(std::uint32_t client, bool closed) {
-  ++arrivals_;
+  LaneCounters& lc = lane_counts_[lane_of(client)];
+  ++lc.arrivals;
   if (closed) {
-    ++closed_arrivals_;
+    ++lc.closed_arrivals;
   } else {
-    ++open_arrivals_;
+    ++lc.open_arrivals;
   }
   const std::size_t cls = mix_.pick_class(client);
   const RequestClass& rc = mix_.at(cls);
-  const sim::SimTime t0 = engine_.now();
+  const sim::SimTime t0 = engine_of(client).now();
   const net::NodeId node = node_of(client);
 
   switch (rc.op) {
@@ -102,7 +159,7 @@ void ServeWorkload::issue(std::uint32_t client, bool closed) {
       } else if (after.server_mem_hits > before.server_mem_hits) {
         cost = b_.coop_costs.server_mem;
       }
-      engine_.schedule_in(cost, [this, client, cls, t0, closed] {
+      engine_of(client).schedule_in(cost, [this, client, cls, t0, closed] {
         finish(client, cls, t0, /*ok=*/true, closed);
       });
       break;
@@ -121,32 +178,74 @@ void ServeWorkload::issue(std::uint32_t client, bool closed) {
 
 void ServeWorkload::finish(std::uint32_t client, std::size_t cls,
                            sim::SimTime t0, bool ok, bool closed) {
-  ++completed_;
-  slo_.record(cls, engine_.now() - t0, ok);
+  // Completions run on the issuing client's lane (RPC caller state is
+  // lane-confined), so the shard index is stable for the whole request.
+  const unsigned lane = lane_of(client);
+  ++lane_counts_[lane].completed;
+  const sim::SimTime now = engine_of(client).now();
+  slo_.record(cls, now - t0, ok, lane);
   obs::tracer().complete(node_of(client), obs_track_, mix_.at(cls).name,
-                         t0, engine_.now());
+                         t0, now);
   if (closed) schedule_closed(client);
 }
 
 void ServeWorkload::schedule_closed(std::uint32_t client) {
-  if (engine_.now() >= pop_.params().horizon) return;
-  engine_.schedule_in(pop_.think_time(client), [this, client] {
-    if (engine_.now() >= pop_.params().horizon) return;
-    issue(client, /*closed=*/true);
+  sim::Engine& eng = engine_of(client);
+  if (eng.now() >= pop_.params().horizon) return;
+  eng.schedule_in(pop_.think_time(client), [this, client] {
+    issue_closed_in_session(client);
   });
+}
+
+void ServeWorkload::issue_closed_in_session(std::uint32_t client) {
+  sim::Engine& eng = engine_of(client);
+  const sim::SimTime now = eng.now();
+  if (now >= pop_.params().horizon) return;
+  ClosedSession& cs = closed_sessions_.at(client - pop_.open_clients());
+  while (cs.window && cs.window->logout <= now) {
+    cs.window = cs.timeline.next();
+  }
+  if (!cs.window) return;  // logged out for the rest of the run
+  if (now < cs.window->login) {
+    // Logged out right now: the loop parks until the next login instead
+    // of burning think-time draws while nobody is at the keyboard.
+    eng.schedule_at(cs.window->login,
+                    [this, client] { issue_closed_in_session(client); });
+    return;
+  }
+  issue(client, /*closed=*/true);
 }
 
 ServeTotals ServeWorkload::totals() const {
   ServeTotals t;
-  t.arrivals = arrivals_;
-  t.open_arrivals = open_arrivals_;
-  t.closed_arrivals = closed_arrivals_;
-  t.completed = completed_;
+  for (const LaneCounters& lc : lane_counts_) {
+    t.arrivals += lc.arrivals;
+    t.open_arrivals += lc.open_arrivals;
+    t.closed_arrivals += lc.closed_arrivals;
+    t.completed += lc.completed;
+  }
   t.offered_per_sec = pop_.params().horizon > 0
-                          ? static_cast<double>(arrivals_) /
+                          ? static_cast<double>(t.arrivals) /
                                 sim::to_sec(pop_.params().horizon)
                           : 0.0;
   return t;
+}
+
+std::uint64_t ServeWorkload::in_flight() const {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  for (const LaneCounters& lc : lane_counts_) {
+    arrivals += lc.arrivals;
+    completed += lc.completed;
+  }
+  return arrivals - completed;
+}
+
+std::uint64_t ServeWorkload::sessions_active() const {
+  if (!pop_.params().sessions.enabled()) return pop_.clients();
+  std::int64_t n = 0;
+  for (const LaneCounters& lc : lane_counts_) n += lc.sessions;
+  return n > 0 ? static_cast<std::uint64_t>(n) : 0;
 }
 
 }  // namespace now::serve

@@ -15,12 +15,28 @@
 //                      for an idle machine and really migrates.
 //
 // Determinism contract: every draw comes from seed-derived per-client
-// streams; open-arrival schedules are materialized before the first event
-// fires.  The workload touches many nodes' state per event (managers, the
-// central server, GLUnix), so clusters it drives must pin
-// Partitioning::kAllGlobal — --threads is then accepted but execution is
-// serial, making output trivially thread-count-invariant (see
-// DESIGN.md §13).
+// streams (pure functions of the seed), and arrivals are *streamed* — each
+// open client lazily pulls its next instant from its ArrivalStream and
+// re-arms one timer, so memory and engine-queue depth stay O(clients)
+// at any horizon or rate.
+//
+// Partition discipline: serving is lane-clean when the backend is.  Pass
+// the cluster's ExecDomain and every client's timers, issue events, and
+// completions run on the lane owning its node; per-lane counter shards
+// and a sharded SloTracker keep the completion path lock-free, merged
+// exactly at report time (thread-count-invariant output — DESIGN.md §15).
+// CentralServerFs is the lane-clean backend (its RPCs cross lanes through
+// the deterministic barrier merge).  xFS, the cooperative cache, and
+// GLUnix touch many nodes' state per event, so workloads driving them
+// must stay serial (domain == nullptr, Partitioning::kAllGlobal) — the
+// constructor asserts this.
+//
+// Session churn: when PopulationParams::sessions is enabled, clients log
+// in and out over the run.  Open arrivals are filtered inside
+// ArrivalStream; closed loops check their own SessionTimeline cursor and
+// park until the next login; the live headcount is published as the
+// serve.sessions_active obs gauge (gauge updates ride each client's lane,
+// and Gauge::add is atomic and commutative).
 //
 // Failure attribution: CentralServerFs reports success per op.  xFS calls
 // its completion even when the retry budget is exhausted and counts the
@@ -32,15 +48,18 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "coopcache/coopcache.hpp"
 #include "glunix/glunix.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/request_mix.hpp"
 #include "serve/slo.hpp"
 #include "sim/engine.hpp"
+#include "sim/exec_domain.hpp"
 #include "xfs/central_server.hpp"
 #include "xfs/xfs.hpp"
 
@@ -79,12 +98,16 @@ struct ServeTotals {
 class ServeWorkload {
  public:
   /// The workload must outlive the run; completions reference it.
-  ServeWorkload(sim::Engine& engine, Backends backends, ServeConfig cfg);
+  /// `domain` non-null runs partitioned: each client's events live on the
+  /// lane owning its node (requires a lane-clean backend — central only).
+  /// Null is the serial path, byte-identical to partitioned output.
+  ServeWorkload(sim::Engine& engine, Backends backends, ServeConfig cfg,
+                sim::ExecDomain* domain = nullptr);
   ServeWorkload(const ServeWorkload&) = delete;
   ServeWorkload& operator=(const ServeWorkload&) = delete;
 
-  /// Schedules every open arrival (materialized up front) and arms the
-  /// closed loops.  Call once, then run the engine.
+  /// Arms every open client's lazy arrival chain and the closed loops
+  /// (one pending timer per client).  Call once, then run the engine.
   void start();
 
   SloTracker& slo() { return slo_; }
@@ -93,31 +116,63 @@ class ServeWorkload {
   RequestMix& mix() { return mix_; }
   ServeTotals totals() const;
   /// Requests issued but not yet completed (in flight when the run ended).
-  std::uint64_t in_flight() const { return arrivals_ - completed_; }
+  std::uint64_t in_flight() const;
+  /// Clients currently inside a login session (== the sessions_active
+  /// gauge; constant clients() when churn is disabled).
+  std::uint64_t sessions_active() const;
 
  private:
+  /// Per-lane tallies: each lane bumps only its own block, totals() sums.
+  struct LaneCounters {
+    std::uint64_t arrivals = 0;
+    std::uint64_t open_arrivals = 0;
+    std::uint64_t closed_arrivals = 0;
+    std::uint64_t completed = 0;
+    /// Net login count on this lane (logins - logouts); summed across
+    /// lanes it is the live session headcount.
+    std::int64_t sessions = 0;
+  };
+  /// A closed client's session cursor (open clients filter inside their
+  /// ArrivalStream instead).
+  struct ClosedSession {
+    SessionTimeline timeline;
+    std::optional<Session> window;
+  };
+
+  void arm_open(std::uint32_t client);
+  void arm_presence(std::uint32_t client, std::optional<Session> window);
   void issue(std::uint32_t client, bool closed);
   void finish(std::uint32_t client, std::size_t cls, sim::SimTime t0,
               bool ok, bool closed);
   void schedule_closed(std::uint32_t client);
+  void issue_closed_in_session(std::uint32_t client);
   /// True iff xFS counted a new failed op since the last call (see the
   /// attribution note in the header comment).
   bool xfs_op_failed();
   net::NodeId node_of(std::uint32_t client) const {
     return cfg_.client_nodes[client % cfg_.client_nodes.size()];
   }
+  sim::Engine& engine_of(std::uint32_t client) {
+    return domain_ != nullptr ? domain_->engine_for(node_of(client))
+                              : engine_;
+  }
+  unsigned lane_of(std::uint32_t client) const {
+    return domain_ != nullptr ? domain_->lane_of(node_of(client)) : 0;
+  }
 
   sim::Engine& engine_;
+  sim::ExecDomain* domain_ = nullptr;
   Backends b_;
   ServeConfig cfg_;
   ClientPopulation pop_;
   RequestMix mix_;
   SloTracker slo_;
-  std::uint64_t arrivals_ = 0;
-  std::uint64_t open_arrivals_ = 0;
-  std::uint64_t closed_arrivals_ = 0;
-  std::uint64_t completed_ = 0;
+  std::vector<LaneCounters> lane_counts_;
+  std::vector<ArrivalStream> open_streams_;     // one per open client
+  std::vector<ClosedSession> closed_sessions_;  // one per closed client
+  std::vector<SessionTimeline> presence_;       // gauge chains (churn only)
   std::uint64_t xfs_failed_seen_ = 0;
+  obs::Gauge* sessions_gauge_ = nullptr;
   obs::TrackId obs_track_;
   bool started_ = false;
 };

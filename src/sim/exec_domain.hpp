@@ -31,6 +31,11 @@ class ExecDomain {
   /// events, and protocol handlers run here.
   virtual Engine& engine_for(std::uint32_t node) = 0;
 
+  /// Index of the lane that owns `node`, in [0, lanes()).  Drivers that
+  /// keep per-lane statistic shards (merged after the run) index them with
+  /// this, so hot-path recording never takes a lock.
+  virtual unsigned lane_of(std::uint32_t node) const = 0;
+
   /// True if `a` and `b` live on the same lane (their interactions need no
   /// cross-lane message).
   virtual bool same_lane(std::uint32_t a, std::uint32_t b) const = 0;

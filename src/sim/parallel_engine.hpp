@@ -98,7 +98,7 @@ class ParallelEngine final : public ExecDomain {
   /// Block assignment over alignment groups: group g (= node / align) of
   /// `groups_` total lands on lane g * lanes / groups.  align = 1 reduces
   /// to the original per-node block layout.
-  unsigned lane_of(std::uint32_t node) const {
+  unsigned lane_of(std::uint32_t node) const override {
     const std::uint64_t group = node / cfg_.align;
     return static_cast<unsigned>((group * parts_.size()) / groups_);
   }

@@ -66,6 +66,18 @@ void Histogram::add(double x) {
   ++bins_[i];
 }
 
+void Histogram::merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && log_growth_ == other.log_growth_ &&
+         "histograms must share bin geometry to merge");
+  summary_.merge(other.summary_);
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+}
+
 double Histogram::percentile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -56,6 +56,13 @@ class Histogram {
   /// Value at quantile q in [0, 1] (upper bound of the bin containing it).
   double percentile(double q) const;
 
+  /// Merges another histogram into this one.  Both must share `lo` and
+  /// `growth` (every sample keeps its exact bin, so merged percentiles are
+  /// identical to single-histogram recording, whatever the grouping —
+  /// which is what lets per-lane shards report thread-count-invariant
+  /// quantiles).
+  void merge(const Histogram& other);
+
   const Summary& summary() const { return summary_; }
 
  private:

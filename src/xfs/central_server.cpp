@@ -26,14 +26,15 @@ CentralServerFs::CentralServerFs(proto::RpcLayer& rpc, os::Node& server,
       obs_cold_restarts_(&obs::metrics().counter("central.cold_restarts")),
       obs_track_(obs::tracer().track("cfs")) {
   for (os::Node* c : clients) {
-    clients_.emplace(c->id(), ClientState(params_.client_cache_blocks));
+    clients_.emplace(c->id(), ClientState(params_.client_cache_blocks, c));
   }
 }
 
 double CentralServerFs::availability() const {
-  const std::uint64_t issued = stats_.reads + stats_.writes;
+  const CentralFsStats s = stats();
+  const std::uint64_t issued = s.reads + s.writes;
   if (issued == 0) return 1.0;
-  return 1.0 - static_cast<double>(stats_.failed_ops) /
+  return 1.0 - static_cast<double>(s.failed_ops) /
                    static_cast<double>(issued);
 }
 
@@ -48,7 +49,7 @@ void CentralServerFs::server_crashed() {
 }
 
 void CentralServerFs::server_restarted() {
-  ++stats_.cold_restarts;
+  count(&CentralFsStats::cold_restarts);
   obs_cold_restarts_->inc();
   obs::tracer().instant(server_.id(), obs_track_, "cold_restart");
 }
@@ -89,31 +90,31 @@ void CentralServerFs::install_server() {
 
 void CentralServerFs::read(net::NodeId client, BlockId b,
                            std::function<void(bool)> done) {
-  ++stats_.reads;
+  count(&CentralFsStats::reads);
   obs_reads_->inc();
   ClientState& cs = cstate(client);
   if (cs.cache.touch(b)) {
-    ++stats_.local_hits;
-    // Local hit costs one block copy (Table 2's memcpy component).
-    rpc_.engine().schedule_in(sim::from_us(250),
-                              [done = std::move(done)] { done(true); });
+    count(&CentralFsStats::local_hits);
+    // Local hit costs one block copy (Table 2's memcpy component),
+    // charged on the client's own lane engine: a hit never leaves the
+    // client machine, so it must not schedule into another lane's queue.
+    cs.node->engine().schedule_in(sim::from_us(250),
+                                  [done = std::move(done)] { done(true); });
     return;
   }
   rpc_.call(
       client, server_.id(), kCfsRead, 48, CfsReq{b, false},
       [this, client, b, done](std::any resp) mutable {
         const auto r = std::any_cast<CfsResp>(resp);
-        if (r.from_memory) {
-          ++stats_.server_mem_hits;
-        } else {
-          ++stats_.server_disk_reads;
-        }
+        count(r.from_memory ? &CentralFsStats::server_mem_hits
+                            : &CentralFsStats::server_disk_reads);
         cstate(client).cache.insert(b);
         done(true);
       },
       kOpTimeout,
       [this, client, done]() mutable {
-        ++stats_.failed_ops;  // the building just lost its file system
+        // The building just lost its file system.
+        count(&CentralFsStats::failed_ops);
         obs_failed_ops_->inc();
         obs::tracer().instant(client, obs_track_, "op_failed");
         done(false);
@@ -122,7 +123,7 @@ void CentralServerFs::read(net::NodeId client, BlockId b,
 
 void CentralServerFs::write(net::NodeId client, BlockId b,
                             std::function<void(bool)> done) {
-  ++stats_.writes;
+  count(&CentralFsStats::writes);
   obs_writes_->inc();
   cstate(client).cache.insert(b);
   rpc_.call(
@@ -130,7 +131,7 @@ void CentralServerFs::write(net::NodeId client, BlockId b,
       CfsReq{b, true},
       [done](std::any) mutable { done(true); }, kOpTimeout,
       [this, client, done]() mutable {
-        ++stats_.failed_ops;
+        count(&CentralFsStats::failed_ops);
         obs_failed_ops_->inc();
         obs::tracer().instant(client, obs_track_, "op_failed");
         done(false);

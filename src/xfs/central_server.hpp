@@ -9,6 +9,14 @@
 // disk; every client miss is an RPC to it, every dirty block is written
 // through to it, and when it dies the building's file service dies with
 // it.  The xFS comparison bench sweeps client count against both designs.
+//
+// Lane discipline (partitioned runs): read()/write() must be called from
+// the lane owning `client`, like any RPC issue.  Client cache state is
+// per-client (lane-confined), server cache/disk state is only touched by
+// server-lane RPC handlers, and the shared stats block is the one piece
+// both sides write — it takes a spinlock, mirroring net::Network's stats.
+// Local hits complete on the client's own lane engine, so a hit never
+// schedules into another lane's queue.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "proto/rpc.hpp"
+#include "sim/spinlock.hpp"
 #include "xfs/log.hpp"
 
 namespace now::xfs {
@@ -68,6 +77,15 @@ class CentralServerFs {
   /// Write-through to the server.
   void write(net::NodeId client, BlockId b, std::function<void(bool)> done);
 
+  /// Installs blocks [0, n) in the server's memory cache, as if the
+  /// working set had been read before the measurement window opened.
+  /// Capacity benches call this to measure steady-state serving rather
+  /// than the cold-start disk warmup (a 12.8 ms positioning cost per
+  /// first touch would dominate a short horizon).  Call before start().
+  void prewarm(BlockId n) {
+    for (BlockId b = 0; b < n; ++b) server_cache_.insert(b);
+  }
+
   /// Fault hooks, called by now::fault when the server node crashes and
   /// recovers.  A crash drops the server's in-memory cache — DRAM does not
   /// survive a power cycle — so the post-restart server serves every block
@@ -76,7 +94,13 @@ class CentralServerFs {
   void server_crashed();
   void server_restarted();
 
-  const CentralFsStats& stats() const { return stats_; }
+  /// Snapshot of the running tallies.  Safe to call between runs or from
+  /// the driving thread after the engine drains; during a partitioned run
+  /// it is a consistent point-in-time copy.
+  CentralFsStats stats() const {
+    std::lock_guard<sim::SpinLock> g(stats_lock_);
+    return stats_;
+  }
   /// Fraction of issued operations that did NOT fail (1.0 before any op).
   /// This is the central server's availability story in one number — the
   /// xFS-vs-central comparison reports it on both sides.
@@ -85,12 +109,18 @@ class CentralServerFs {
 
  private:
   struct ClientState {
-    explicit ClientState(std::uint32_t cap) : cache(cap) {}
+    ClientState(std::uint32_t cap, os::Node* n) : cache(cap), node(n) {}
     coopcache::LruCache cache;
+    /// The client's own node — local hits complete on its lane engine.
+    os::Node* node;
   };
 
   void install_server();
   ClientState& cstate(net::NodeId c) { return clients_.at(c); }
+  void count(std::uint64_t CentralFsStats::* field) {
+    std::lock_guard<sim::SpinLock> g(stats_lock_);
+    ++(stats_.*field);
+  }
 
   proto::RpcLayer& rpc_;
   os::Node& server_;
@@ -99,6 +129,8 @@ class CentralServerFs {
   coopcache::LruCache server_cache_;
   /// Blocks that exist on the server disk (written at least once).
   std::unordered_set<BlockId> on_disk_;
+  /// Written from every client's lane; net::Network's stats pattern.
+  mutable sim::SpinLock stats_lock_;
   CentralFsStats stats_;
   obs::Counter* obs_reads_;
   obs::Counter* obs_writes_;

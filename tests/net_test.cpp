@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.hpp"
+#include "net/placement.hpp"
 #include "net/presets.hpp"
 #include "net/shared_bus.hpp"
 #include "net/switched.hpp"
@@ -200,6 +201,60 @@ TEST(Presets, RelativeSpeeds) {
   EXPECT_NEAR(sim::to_us(t_eth), 6'250, 800);
   // Cut-through ATM: one ~400-470 us serialization plus switch latency.
   EXPECT_NEAR(sim::to_us(t_atm), 500, 150);
+}
+
+// ---------------------------------------------------------------------------
+// Client placement helpers (building-scale benches)
+
+TEST(Placement, RackLocalSkipsTheServerAndCycles) {
+  TopologyParams topo;
+  topo.nodes_per_rack = 4;
+  topo.racks = 3;
+  // Server mid-rack: slots are the rack's other nodes in increasing id
+  // order, reused round-robin once the rack is exhausted.
+  const auto c = rack_local_clients(topo, 5, 7);
+  const std::vector<NodeId> want{4, 6, 7, 4, 6, 7, 4};
+  EXPECT_EQ(c, want);
+  for (const NodeId n : c) {
+    EXPECT_EQ(n / 4, 5u / 4) << "left the server's rack";
+    EXPECT_NE(n, 5u);
+  }
+}
+
+TEST(Placement, SpreadDealsOnePerRackThenWraps) {
+  TopologyParams topo;
+  topo.nodes_per_rack = 4;
+  topo.racks = 4;
+  // Server in rack 0: racks 1..3 get one client each, then a second each,
+  // and the slot index advances every full pass.
+  const auto c = spread_clients(topo, 0, 8);
+  const std::vector<NodeId> want{4, 8, 12, 5, 9, 13, 6, 10};
+  EXPECT_EQ(c, want);
+  for (const NodeId n : c) EXPECT_NE(n / 4, 0u) << "landed in server rack";
+}
+
+TEST(Placement, SpreadSkipsAnInteriorServerRack) {
+  TopologyParams topo;
+  topo.nodes_per_rack = 2;
+  topo.racks = 3;
+  const auto c = spread_clients(topo, 3, 4);  // server in rack 1
+  const std::vector<NodeId> want{0, 4, 1, 5};
+  EXPECT_EQ(c, want);
+}
+
+TEST(Placement, HelpersArePureFunctions) {
+  TopologyParams topo;
+  topo.nodes_per_rack = 32;
+  topo.racks = 32;
+  EXPECT_EQ(rack_local_clients(topo, 0, 100),
+            rack_local_clients(topo, 0, 100));
+  EXPECT_EQ(spread_clients(topo, 0, 2048), spread_clients(topo, 0, 2048));
+  // 2048 clients over 31 non-server racks x 32 slots: everything stays in
+  // bounds and off the server's rack.
+  for (const NodeId n : spread_clients(topo, 0, 2048)) {
+    EXPECT_LT(n, 1024u);
+    EXPECT_NE(n / 32, 0u);
+  }
 }
 
 }  // namespace

@@ -113,6 +113,169 @@ TEST(ClientPopulation, OpenFractionSplitsThePopulation) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming arrivals: lazy == materialized, merge order, bounded state
+
+// The tentpole invariant: collecting every open client's lazy stream
+// through the k-way merge yields exactly the per-client materialized
+// schedules, interleaved in (time, client) order — for a mixed
+// open/closed population under a diurnal curve.  If this drifts, the
+// streaming path has silently reseeded the serving experiments.
+TEST(MergedArrivals, MatchesMaterializedSchedules) {
+  serve::PopulationParams p;
+  p.clients = 8;
+  p.open_fraction = 0.5;  // clients 0..3 open, 4..7 closed
+  p.offered_per_sec = 120.0;
+  p.horizon = 3 * sim::kSecond;
+  p.diurnal.amplitude = 0.7;
+  p.diurnal.period = 2 * sim::kSecond;
+  serve::ClientPopulation pop(p, 91);
+
+  std::vector<serve::Arrival> expected;
+  for (std::uint32_t c = 0; c < pop.clients(); ++c) {
+    for (const sim::SimTime t : pop.arrivals(c)) expected.push_back({t, c});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const serve::Arrival& a, const serve::Arrival& b) {
+                     return a.time != b.time ? a.time < b.time
+                                             : a.client < b.client;
+                   });
+  ASSERT_GT(expected.size(), 100u);
+
+  serve::MergedArrivals merged(pop);
+  EXPECT_EQ(merged.streams(), pop.open_clients());
+  std::vector<serve::Arrival> got;
+  while (const auto a = merged.next()) got.push_back(*a);
+  EXPECT_EQ(merged.streams(), 0u);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MergedArrivals, MatchesMaterializedSchedulesUnderChurn) {
+  serve::PopulationParams p;
+  p.clients = 6;
+  p.open_fraction = 1.0;
+  p.offered_per_sec = 90.0;
+  p.horizon = 4 * sim::kSecond;
+  p.diurnal.amplitude = 0.5;
+  p.diurnal.period = 2 * sim::kSecond;
+  p.sessions.mean_on = 500 * sim::kMillisecond;
+  p.sessions.mean_off = 300 * sim::kMillisecond;
+  serve::ClientPopulation pop(p, 37);
+
+  std::vector<serve::Arrival> expected;
+  for (std::uint32_t c = 0; c < pop.clients(); ++c) {
+    for (const sim::SimTime t : pop.arrivals(c)) expected.push_back({t, c});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const serve::Arrival& a, const serve::Arrival& b) {
+                     return a.time != b.time ? a.time < b.time
+                                             : a.client < b.client;
+                   });
+  ASSERT_GT(expected.size(), 30u);
+
+  serve::MergedArrivals merged(pop);
+  std::vector<serve::Arrival> got;
+  while (const auto a = merged.next()) got.push_back(*a);
+  EXPECT_EQ(got, expected);
+}
+
+// Enabling churn draws its session timeline from a *separate* RNG stream,
+// so it may only remove arrivals — every surviving timestamp must appear,
+// unmoved, in the churn-free schedule.
+TEST(ClientPopulation, ChurnOnlyFiltersArrivals) {
+  serve::PopulationParams p;
+  p.clients = 4;
+  p.offered_per_sec = 80.0;
+  p.horizon = 5 * sim::kSecond;
+  serve::ClientPopulation plain(p, 57);
+  p.sessions.mean_on = sim::kSecond;
+  p.sessions.mean_off = 700 * sim::kMillisecond;
+  serve::ClientPopulation churned(p, 57);
+
+  std::size_t kept = 0, dropped = 0;
+  for (std::uint32_t c = 0; c < p.clients; ++c) {
+    const auto base = plain.arrivals(c);
+    const auto fil = churned.arrivals(c);
+    EXPECT_LE(fil.size(), base.size());
+    for (const sim::SimTime t : fil) {
+      EXPECT_TRUE(std::binary_search(base.begin(), base.end(), t))
+          << "churn moved an arrival instead of filtering";
+    }
+    kept += fil.size();
+    dropped += base.size() - fil.size();
+  }
+  EXPECT_GT(kept, 0u) << "all sessions empty — churn params degenerate";
+  EXPECT_GT(dropped, 0u) << "churn filtered nothing";
+}
+
+TEST(SessionTimeline, DisabledYieldsOneFullHorizonSession) {
+  serve::PopulationParams p;
+  p.clients = 2;
+  p.horizon = 7 * sim::kSecond;
+  serve::ClientPopulation pop(p, 3);
+  serve::SessionTimeline tl = pop.sessions(1);
+  const auto s = tl.next();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->login, 0);
+  EXPECT_EQ(s->logout, p.horizon);
+  EXPECT_FALSE(tl.next().has_value());
+}
+
+TEST(SessionTimeline, IntervalsAreOrderedDisjointAndReplayable) {
+  serve::PopulationParams p;
+  p.clients = 3;
+  p.horizon = 20 * sim::kSecond;
+  p.sessions.mean_on = sim::kSecond;
+  p.sessions.mean_off = sim::kSecond;
+  p.diurnal.amplitude = 0.6;
+  p.diurnal.period = 5 * sim::kSecond;
+  serve::ClientPopulation pop(p, 101);
+  for (std::uint32_t c = 0; c < p.clients; ++c) {
+    std::vector<serve::Session> a, b;
+    serve::SessionTimeline t1 = pop.sessions(c);
+    serve::SessionTimeline t2 = pop.sessions(c);
+    while (const auto s = t1.next()) a.push_back(*s);
+    while (const auto s = t2.next()) b.push_back(*s);
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].login, b[i].login) << "timeline is not replayable";
+      EXPECT_EQ(a[i].logout, b[i].logout);
+      EXPECT_LT(a[i].login, a[i].logout);
+      EXPECT_LE(a[i].logout, p.horizon);
+      if (i > 0) EXPECT_GE(a[i].login, a[i - 1].logout);
+    }
+  }
+}
+
+// 2048 streaming clients at building rates: the merge must hold its
+// bounded O(clients) state (streams() never exceeds the population) and
+// deliver a sane Poisson count in order.  This is the smoke test that the
+// schedule is never materialized — at this rate a vector-of-vectors path
+// would hold every arrival at once.
+TEST(MergedArrivals, TwoThousandClientStreamStaysBounded) {
+  serve::PopulationParams p;
+  p.clients = 2048;
+  p.offered_per_sec = 20'000.0;
+  p.horizon = 2 * sim::kSecond;
+  serve::ClientPopulation pop(p, 77);
+  serve::MergedArrivals merged(pop);
+  EXPECT_EQ(merged.streams(), 2048u);
+
+  std::uint64_t n = 0;
+  sim::SimTime prev = 0;
+  while (const auto a = merged.next()) {
+    EXPECT_GE(a->time, prev);
+    EXPECT_LT(a->time, p.horizon);
+    EXPECT_LT(a->client, 2048u);
+    EXPECT_LE(merged.streams(), 2048u);
+    prev = a->time;
+    ++n;
+  }
+  // 20k/s over 2 s => ~40k arrivals.
+  EXPECT_GT(n, 38'000u);
+  EXPECT_LT(n, 42'000u);
+}
+
+// ---------------------------------------------------------------------------
 // Think times
 
 TEST(ClientPopulation, ThinkTimeMeansMatchAcrossDistributions) {
@@ -472,6 +635,133 @@ TEST(ServeWorkload, ComputeClassRunsThroughGlunix) {
   EXPECT_GT(t.arrivals, 5u);
   EXPECT_EQ(t.completed, t.arrivals);
   EXPECT_GT(w.slo().report(0, sc.population.horizon).attainment, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned serving: lane-confined clients, exact shard merges
+
+// A churned central-backend population on the building fabric, run at
+// several --threads values: every statistic the workload reports must be
+// identical, because per-lane shards merge with exact integer arithmetic
+// and every client's events stay on the lane owning its node.
+std::string run_churned_building(unsigned threads) {
+  ClusterConfig cfg;
+  cfg.workstations = 8;
+  cfg.fabric = Fabric::kBuildingNow;
+  cfg.building = net::building_now(2, 4, 2.0);
+  cfg.with_glunix = false;
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kNodeLocal;
+  cfg.seed = 5;
+  Cluster c(cfg);
+
+  xfs::CentralFsParams p;
+  p.client_cache_blocks = 0;
+  std::vector<os::Node*> fsc;
+  for (std::uint32_t i = 1; i < 8; ++i) fsc.push_back(&c.node(i));
+  xfs::CentralServerFs fs(c.rpc(), c.node(0), fsc, p);
+  fs.prewarm(64);
+  fs.start();
+
+  serve::ServeConfig sc;
+  sc.population.clients = 24;
+  sc.population.open_fraction = 1.0;
+  sc.population.offered_per_sec = 300.0;
+  sc.population.horizon = sim::kSecond;
+  sc.population.diurnal.amplitude = 0.5;
+  sc.population.diurnal.period = 800 * sim::kMillisecond;
+  sc.population.sessions.mean_on = 300 * sim::kMillisecond;
+  sc.population.sessions.mean_off = 200 * sim::kMillisecond;
+  serve::RequestClass rd;
+  rd.name = "read";
+  rd.op = serve::RequestOp::kFileRead;
+  rd.slo = 25 * sim::kMillisecond;
+  rd.working_set = 64;
+  sc.classes = {rd};
+  for (std::uint32_t i = 1; i < 8; ++i) sc.client_nodes.push_back(i);
+  sc.seed = 5;
+
+  serve::Backends b;
+  b.central = &fs;
+  serve::ServeWorkload w(c.engine(), b, sc, c.parallel_engine());
+  w.start();
+  c.run_until(1500 * sim::kMillisecond);
+
+  const serve::ServeTotals t = w.totals();
+  const serve::SloClassReport all = w.slo().overall(sc.population.horizon);
+  const xfs::CentralFsStats st = fs.stats();
+  std::ostringstream out;
+  out << "arrivals=" << t.arrivals << " completed=" << t.completed
+      << " in_flight=" << w.in_flight() << " ok=" << all.ok
+      << " slo_met=" << all.slo_met << " mean_us="
+      << static_cast<long long>(all.mean_ms * 1000) << " p50_us="
+      << static_cast<long long>(all.p50_ms * 1000) << " p99_us="
+      << static_cast<long long>(all.p99_ms * 1000) << " max_us="
+      << static_cast<long long>(all.max_ms * 1000)
+      << " reads=" << st.reads << " mem_hits=" << st.server_mem_hits;
+  return out.str();
+}
+
+TEST(ServeWorkload, ChurnedBuildingRunIsThreadCountInvariant) {
+  const std::string t1 = run_churned_building(1);
+  const std::string t2 = run_churned_building(2);
+  const std::string t4 = run_churned_building(4);
+  EXPECT_NE(t1.find("arrivals="), std::string::npos);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+}
+
+// The live-session headcount is published as an obs gauge; mid-run it
+// must agree with the workload's own lane-sharded count and sit strictly
+// inside (0, clients) for a churning population.
+TEST(ServeWorkload, SessionsActiveGaugeTracksChurn) {
+  obs::MetricsRegistry reg;
+  obs::MetricsRegistry* prev = obs::set_thread_metrics(&reg);
+  {
+    sim::Engine eng;
+    coopcache::CoopCacheConfig cc;
+    cc.clients = 4;
+    cc.client_cache_blocks = 32;
+    cc.server_cache_blocks = 128;
+    cc.seed = 17;
+    coopcache::CoopCacheSim coop(cc);
+
+    serve::ServeConfig sc;
+    sc.population.clients = 16;
+    sc.population.open_fraction = 1.0;
+    sc.population.offered_per_sec = 100.0;
+    sc.population.horizon = 2 * sim::kSecond;
+    sc.population.sessions.mean_on = 400 * sim::kMillisecond;
+    sc.population.sessions.mean_off = 300 * sim::kMillisecond;
+    serve::RequestClass cache;
+    cache.name = "cache";
+    cache.op = serve::RequestOp::kCacheRead;
+    cache.slo = 20 * sim::kMillisecond;
+    cache.working_set = 64;
+    sc.classes = {cache};
+    sc.client_nodes = {0, 1, 2, 3};
+    sc.seed = 23;
+
+    serve::Backends b;
+    b.coop = &coop;
+    serve::ServeWorkload w(eng, b, sc);
+    w.start();
+
+    double gauge_mid = -1.0;
+    std::uint64_t live_mid = 0;
+    eng.schedule_at(sim::kSecond, [&] {
+      gauge_mid = reg.find_gauge("serve.sessions_active")->value();
+      live_mid = w.sessions_active();
+    });
+    eng.run();
+
+    EXPECT_EQ(static_cast<std::uint64_t>(gauge_mid), live_mid)
+        << "gauge and lane shards disagree";
+    EXPECT_GT(live_mid, 0u);
+    EXPECT_LT(live_mid, 16u) << "nobody ever logged out at t=1s";
+    EXPECT_EQ(w.sessions_active(), 0u) << "all sessions clip to the horizon";
+  }
+  obs::set_thread_metrics(prev);
 }
 
 // ---------------------------------------------------------------------------

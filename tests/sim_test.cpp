@@ -462,6 +462,41 @@ TEST(Histogram, UnderflowBinResolvesToLo) {
   EXPECT_DOUBLE_EQ(h.max(), 1000.0);
 }
 
+// merge() is how per-lane latency shards combine at report time: bin
+// counts are integers, so any grouping of the same samples must produce
+// the identical histogram — the foundation of thread-count-invariant
+// statistics.
+TEST(Histogram, MergeEqualsSingleHistogramOverTheUnion) {
+  Histogram whole(1.0, 1.05);
+  Histogram a(1.0, 1.05), b(1.0, 1.05), c(1.0, 1.05);
+  Pcg32 rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.exponential(1.0 / 250.0) + 0.2;  // some underflow
+    whole.add(x);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), whole.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a(1.0, 1.05), empty(1.0, 1.05);
+  a.add(3.0);
+  a.add(70.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max(), 70.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), a.percentile(1.0));
+}
+
 TEST(Summary, MergeVarianceIsExact) {
   // Small integer samples so the expected moments are exact by hand:
   // {1,2,3} merged with {10,14} = {1,2,3,10,14}.
