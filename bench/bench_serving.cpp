@@ -46,6 +46,7 @@
 #include "core/cluster.hpp"
 #include "exp/grid.hpp"
 #include "net/placement.hpp"
+#include "replay/cursor.hpp"
 #include "serve/workload.hpp"
 #include "xfs/central_server.hpp"
 
@@ -301,6 +302,50 @@ BldCell run_building(std::uint32_t nodes, std::uint32_t clients, bool spread,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Part three (--trace <path>): recorded arrivals as the third source.
+// The same 16-client open population runs at a gentle background rate
+// while a recorded trace is replayed on top by four replay clients — each
+// owning an independent stride-filtered cursor over its own file handle,
+// so the cell runs partitioned (kNodeLocal) and stays byte-identical at
+// any --threads value.  Replayed requests are judged against the same
+// read/write SLOs as the synthetic ones.
+
+constexpr std::uint32_t kReplayClients = 4;
+constexpr double kReplayBackgroundLoad = 25.0;
+
+CellResult run_replay_cell(const std::string& path, double scale,
+                           exp::RunContext& ctx, unsigned threads) {
+  ClusterConfig cfg;
+  cfg.workstations = kClients + 1;
+  cfg.with_glunix = false;  // partition-clean: central backend only
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kNodeLocal;
+  cfg.seed = ctx.seed;
+  cfg.run = &ctx;
+  Cluster c(cfg);
+
+  xfs::CentralFsParams p;
+  p.client_cache_blocks = 64;
+  std::vector<os::Node*> clients;
+  for (std::uint32_t i = 1; i <= kClients; ++i) clients.push_back(&c.node(i));
+  xfs::CentralServerFs fs(c.rpc(), c.node(0), clients, p);
+  fs.prewarm(kWorkingSet);
+  fs.start();
+
+  serve::ServeConfig sc = serve_config(kReplayBackgroundLoad, ctx.seed);
+  sc.replay.path = path;
+  sc.replay.clients = kReplayClients;
+  sc.replay.time_scale = scale;
+
+  serve::Backends b;
+  b.central = &fs;
+  serve::ServeWorkload w(c.engine(), b, sc, c.parallel_engine());
+  w.start();
+  c.run_until(kHorizon + kDrain);
+  return harvest(w);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -528,6 +573,55 @@ int main(int argc, char** argv) {
   now::bench::row("quiet): the churning column offers less load and even "
                   "its peak live-session");
   now::bench::row("count sits below the population.");
+
+  // ---- Part three: replayed arrivals next to the open population -------
+  const std::string trace_path = now::bench::parse_trace(argc, argv);
+  if (!trace_path.empty()) {
+    const double scale = now::bench::parse_trace_scale(argc, argv);
+    const auto ts = replay::summarize(trace_path);
+    const auto rcell = sweep.run(
+        {"replay_cell"},
+        [&](now::exp::RunContext& ctx) {
+          return run_replay_cell(trace_path, scale, ctx, sweep.threads());
+        })[0];
+    now::bench::row("");
+    now::bench::row("replayed arrivals: %s (%s, %llu records, time scale "
+                    "%gx) over %u replay clients,",
+                    trace_path.c_str(), replay::to_string(ts.format),
+                    static_cast<unsigned long long>(ts.records), scale,
+                    kReplayClients);
+    now::bench::row("on top of the 16-client open population at %.0f/s; "
+                    "central backend, partitioned (kNodeLocal)",
+                    kReplayBackgroundLoad);
+    now::bench::row("");
+    now::bench::row("%-12s %10s %10s %10s %8s %8s %8s %7s", "arrivals",
+                    "open", "replayed", "completed", "p50 ms", "p99 ms",
+                    "p999 ms", "attain");
+    now::bench::row("%-12s %10llu %10llu %10llu %8.2f %8.2f %8.2f %6.1f%%",
+                    "",
+                    static_cast<unsigned long long>(
+                        rcell.totals.open_arrivals),
+                    static_cast<unsigned long long>(
+                        rcell.totals.replayed_arrivals),
+                    static_cast<unsigned long long>(rcell.all.completed),
+                    rcell.all.p50_ms, rcell.all.p99_ms, rcell.all.p999_ms,
+                    100.0 * rcell.all.attainment);
+    json.value("replay_cell", "open_arrivals",
+               static_cast<double>(rcell.totals.open_arrivals));
+    json.value("replay_cell", "replayed_arrivals",
+               static_cast<double>(rcell.totals.replayed_arrivals));
+    json.value("replay_cell", "completed",
+               static_cast<double>(rcell.all.completed));
+    json.value("replay_cell", "p50_ms", rcell.all.p50_ms);
+    json.value("replay_cell", "p99_ms", rcell.all.p99_ms);
+    json.value("replay_cell", "attainment", rcell.all.attainment);
+    now::bench::row("");
+    now::bench::row("the recorded stream rides the same lanes, SLOs, and "
+                    "report path as the synthetic");
+    now::bench::row("sources; replay clients never share cursor state, so "
+                    "thread count cannot move a");
+    now::bench::row("single arrival.");
+  }
 
   struct rusage ru;
   getrusage(RUSAGE_SELF, &ru);

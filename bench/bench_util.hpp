@@ -245,6 +245,32 @@ inline std::uint32_t parse_nodes(int argc, char** argv) {
   return 0;
 }
 
+/// `--trace <path>`: a recorded trace to replay (native fs or nfsdump-
+/// style text, auto-detected by now::replay) instead of — or, for benches
+/// that print both, next to — the synthetic generator.  Empty when absent.
+/// Shared by the replay-capable benches (bench_table3_coopcache,
+/// bench_xfs_vs_central, bench_serving); each prints its replay section
+/// only when the flag is given, so default stdout is unchanged.
+inline std::string parse_trace(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// `--trace-scale S` (default 1): recorded timestamps are divided by S, so
+/// 2 replays the trace at twice the recorded rate.  Values <= 0 fall back
+/// to 1.
+inline double parse_trace_scale(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-scale") == 0) {
+      const double s = std::strtod(argv[i + 1], nullptr);
+      return s > 0 ? s : 1.0;
+    }
+  }
+  return 1.0;
+}
+
 /// Applies a --nodes cap to a size axis: sizes above the cap are dropped;
 /// if the cap removes everything (or matches nothing exactly), the cap
 /// itself becomes a point, so `--nodes 256` always measures 256.  cap = 0

@@ -9,6 +9,7 @@
 // designs inside a point draw the identical request stream from the
 // point's derived seed, so the comparison stays controlled and the point
 // is a pure function of (base seed, index).
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -16,6 +17,8 @@
 
 #include "bench_util.hpp"
 #include "core/cluster.hpp"
+#include "replay/cursor.hpp"
+#include "replay/driver.hpp"
 #include "sim/random.hpp"
 #include "xfs/central_server.hpp"
 
@@ -139,6 +142,102 @@ struct Point {
   RunResult xfs;
 };
 
+struct ReplayResult {
+  double ops_per_sec = 0;
+  double mean_ms = 0;
+  replay::ReplayStats stats;
+};
+
+// Replays a recorded trace against either design.  Open loop re-offers
+// each record at its recorded (scaled) instant; closed loop ("afap")
+// keeps one request per recorded client outstanding and ignores the
+// timestamps — the capacity measurement.  Trace clients fold onto the
+// cluster's client nodes and recorded blocks onto the bench's 2,000-block
+// working set, so both designs see exactly the recorded reference string.
+ReplayResult run_replay(const std::string& path, bool use_xfs,
+                        bool open_loop, double time_scale,
+                        const replay::TraceSummary& ts, exp::RunContext& ctx,
+                        unsigned threads) {
+  const std::uint32_t nclients = std::max<std::uint32_t>(ts.clients, 1);
+  ClusterConfig cfg;
+  cfg.workstations = nclients + 1;
+  cfg.with_glunix = false;
+  cfg.with_xfs = use_xfs;
+  if (use_xfs) {
+    cfg.xfs.client_cache_blocks = 64;
+    cfg.xfs.segment_blocks = std::min<std::uint32_t>(nclients, 16);
+  }
+  // Not partition-clean (see run_central's note): kAllGlobal keeps output
+  // byte-identical at any --threads value.
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kAllGlobal;
+  cfg.run = &ctx;
+  Cluster c(cfg);
+
+  xfs::CentralFsParams p;
+  p.client_cache_blocks = 64;
+  std::vector<os::Node*> clients;
+  for (std::uint32_t i = 1; i <= nclients; ++i) {
+    clients.push_back(&c.node(i));
+  }
+  std::unique_ptr<xfs::CentralServerFs> fs;
+  if (!use_xfs) {
+    fs = std::make_unique<xfs::CentralServerFs>(c.rpc(), c.node(0), clients,
+                                                p);
+    fs->start();
+  }
+
+  auto total_ms = std::make_shared<double>(0);
+  auto cur = replay::open_trace(path);
+  replay::IssueFn issue = [&c, &fs, use_xfs, nclients, total_ms](
+                              const trace::FsAccess& a,
+                              std::function<void()> done) {
+    const std::uint32_t client = 1 + a.client % nclients;
+    const xfs::BlockId b = a.block % 2'000;
+    const sim::SimTime t0 = c.engine().now();
+    if (use_xfs) {
+      auto cont = [&c, t0, total_ms, done = std::move(done)] {
+        *total_ms += sim::to_ms(c.engine().now() - t0);
+        done();
+      };
+      if (a.is_write) {
+        c.fs().write(client, b, cont);
+      } else {
+        c.fs().read(client, b, cont);
+      }
+    } else {
+      auto cont = [&c, t0, total_ms, done = std::move(done)](bool) {
+        *total_ms += sim::to_ms(c.engine().now() - t0);
+        done();
+      };
+      if (a.is_write) {
+        fs->write(client, b, cont);
+      } else {
+        fs->read(client, b, cont);
+      }
+    }
+  };
+
+  ReplayResult r;
+  if (open_loop) {
+    replay::OpenLoopReplay drv(c.engine(), *cur, time_scale, issue);
+    drv.start();
+    c.run();
+    r.stats = drv.stats();
+  } else {
+    replay::ClosedLoopReplay drv(c.engine(), *cur, nclients, issue);
+    drv.start();
+    c.run();
+    r.stats = drv.stats();
+  }
+  if (r.stats.completed > 0) {
+    r.ops_per_sec = static_cast<double>(r.stats.completed) /
+                    sim::to_sec(c.engine().now());
+    r.mean_ms = *total_ms / static_cast<double>(r.stats.completed);
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,5 +278,79 @@ int main(int argc, char** argv) {
                   "(stats.failed_ops)");
   now::bench::row("  one xFS node dies    -> manager takeover + degraded "
                   "RAID reads (see bench_xfs)");
+
+  // --- Recorded-trace replay (--trace <path>) ----------------------------
+  // Four more sweep points: each design replays the recorded stream under
+  // both drivers.  Open loop preserves the recorded arrival schedule
+  // (response time under the workload as it happened); closed loop retires
+  // the trace as fast as possible (capacity on the recorded reference
+  // string).
+  const std::string trace_path = now::bench::parse_trace(argc, argv);
+  if (!trace_path.empty()) {
+    const double scale = now::bench::parse_trace_scale(argc, argv);
+    const auto ts = replay::summarize(trace_path);
+    now::bench::JsonReport report(argc, argv,
+                                  "bench/bench_xfs_vs_central.replay",
+                                  "ops_per_sec, ms");
+    report.method("recorded-trace replay via now::replay: open loop "
+                  "(as-recorded schedule / --trace-scale) and closed loop "
+                  "(as fast as possible, one outstanding request per "
+                  "recorded client)");
+    now::bench::row("");
+    now::bench::row("replayed trace: %s", trace_path.c_str());
+    now::bench::row("  format %s, %llu records, %u clients, %.1f s "
+                    "recorded, time scale %gx",
+                    replay::to_string(ts.format),
+                    static_cast<unsigned long long>(ts.records),
+                    std::max<std::uint32_t>(ts.clients, 1),
+                    sim::to_sec(ts.last_at - ts.first_at), scale);
+    now::bench::row("");
+    now::bench::row("%-22s %12s %12s %12s %8s", "design / driver", "ops/s",
+                    "mean ms", "completed", "late");
+    struct RPoint {
+      const char* name;
+      bool use_xfs;
+      bool open_loop;
+    };
+    const std::vector<RPoint> rpoints{
+        {"central open-loop", false, true},
+        {"xFS open-loop", true, true},
+        {"central closed-afap", false, false},
+        {"xFS closed-afap", true, false},
+    };
+    std::vector<std::string> rnames;
+    for (const RPoint& rp : rpoints) {
+      std::string n = std::string("replay_") + rp.name;
+      for (char& ch : n) {
+        if (ch == ' ' || ch == '-') ch = '_';
+      }
+      rnames.push_back(n);
+    }
+    const std::size_t replay_first = names.size();
+    const auto rresults = sweep.run(rnames, [&](now::exp::RunContext& ctx) {
+      const RPoint& rp = rpoints[ctx.task_index - replay_first];
+      return run_replay(trace_path, rp.use_xfs, rp.open_loop, scale, ts,
+                        ctx, sweep.threads());
+    });
+    for (std::size_t i = 0; i < rpoints.size(); ++i) {
+      const ReplayResult& r = rresults[i];
+      now::bench::row("%-22s %12.0f %12.2f %12llu %8llu", rpoints[i].name,
+                      r.ops_per_sec, r.mean_ms,
+                      static_cast<unsigned long long>(r.stats.completed),
+                      static_cast<unsigned long long>(r.stats.late));
+      report.value(rnames[i], "ops_per_sec", r.ops_per_sec);
+      report.value(rnames[i], "mean_ms", r.mean_ms);
+      report.value(rnames[i], "issued",
+                   static_cast<double>(r.stats.issued));
+      report.value(rnames[i], "completed",
+                   static_cast<double>(r.stats.completed));
+      report.value(rnames[i], "late", static_cast<double>(r.stats.late));
+    }
+    report.note("trace: " + trace_path);
+    now::bench::row("");
+    now::bench::row("open loop holds the recorded schedule (late = records "
+                    "the design could not accept on time); closed loop is "
+                    "the capacity bound on the recorded reference string.");
+  }
   return 0;
 }

@@ -1,0 +1,98 @@
+// now::replay — replay drivers: recorded request streams onto a live
+// simulation.
+//
+// A trace fixes *what* happened; a driver decides *when* to re-offer it:
+//
+//   * OpenLoopReplay   — as recorded.  Each record is scheduled at its
+//                        recorded timestamp divided by `time_scale`
+//                        (scale 2 replays the trace twice as fast), and
+//                        arrivals never wait for completions — exactly the
+//                        open-arrival discipline of now::serve, but with
+//                        the schedule read from disk instead of drawn from
+//                        a Poisson stream.  If the simulation falls behind
+//                        (a record's instant is already past when its
+//                        predecessor finishes scheduling), the record
+//                        fires immediately and is counted in stats().late.
+//   * ClosedLoopReplay — as fast as possible.  `concurrency` records are
+//                        outstanding at any instant; each completion pulls
+//                        the next record.  Timestamps are ignored — this
+//                        measures the backend's capacity on the recorded
+//                        access pattern, the hornet-style "retire the
+//                        trace" mode.
+//
+// Both drivers pull lazily from a TraceCursor: one pending engine event
+// and O(window) reader state however long the trace, so replay memory is
+// flat.  Neither driver owns the cursor or the issue function's backend —
+// both must outlive the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "replay/cursor.hpp"
+#include "sim/engine.hpp"
+
+namespace now::replay {
+
+struct ReplayStats {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  /// Open loop only: records whose scaled instant had already passed when
+  /// they came up (the simulation could not keep pace with the recording).
+  std::uint64_t late = 0;
+};
+
+/// Called once per record; the driver's `done` must be invoked exactly
+/// once when the simulated operation completes.
+using IssueFn =
+    std::function<void(const trace::FsAccess&, std::function<void()> done)>;
+
+class OpenLoopReplay {
+ public:
+  /// `time_scale` > 1 compresses recorded time (2 = twice as fast); must
+  /// be > 0.
+  OpenLoopReplay(sim::Engine& engine, TraceCursor& cursor, double time_scale,
+                 IssueFn issue);
+  OpenLoopReplay(const OpenLoopReplay&) = delete;
+  OpenLoopReplay& operator=(const OpenLoopReplay&) = delete;
+
+  /// Schedules the first record; call once, then run the engine.
+  void start();
+
+  const ReplayStats& stats() const { return stats_; }
+
+ private:
+  void arm();
+
+  sim::Engine& engine_;
+  TraceCursor& cursor_;
+  double scale_;
+  IssueFn issue_;
+  ReplayStats stats_;
+};
+
+class ClosedLoopReplay {
+ public:
+  /// `concurrency` requests stay outstanding until the trace drains.
+  ClosedLoopReplay(sim::Engine& engine, TraceCursor& cursor,
+                   unsigned concurrency, IssueFn issue);
+  ClosedLoopReplay(const ClosedLoopReplay&) = delete;
+  ClosedLoopReplay& operator=(const ClosedLoopReplay&) = delete;
+
+  /// Issues the first `concurrency` records; call once, then run the
+  /// engine.
+  void start();
+
+  const ReplayStats& stats() const { return stats_; }
+
+ private:
+  void pump();
+
+  sim::Engine& engine_;
+  TraceCursor& cursor_;
+  unsigned concurrency_;
+  IssueFn issue_;
+  ReplayStats stats_;
+};
+
+}  // namespace now::replay

@@ -26,6 +26,26 @@ ServeWorkload::ServeWorkload(sim::Engine& engine, Backends backends,
   slo_.set_lanes(lanes);
   lane_counts_.assign(lanes, LaneCounters{});
   mix_.ensure_clients(pop_.clients());
+  if (cfg_.replay.enabled()) {
+    assert((b_.central != nullptr || b_.xfs != nullptr) &&
+           "replayed arrivals issue file ops and need a file backend");
+    bool have_read = false, have_write = false;
+    for (std::size_t i = 0; i < mix_.size(); ++i) {
+      if (!have_read && mix_.at(i).op == RequestOp::kFileRead) {
+        replay_read_cls_ = i;
+        have_read = true;
+      }
+      if (!have_write && mix_.at(i).op == RequestOp::kFileWrite) {
+        replay_write_cls_ = i;
+        have_write = true;
+      }
+    }
+    assert(have_read && have_write &&
+           "replayed arrivals need a kFileRead and a kFileWrite class "
+           "to report against");
+    (void)have_read;
+    (void)have_write;
+  }
   sessions_gauge_ = &obs::metrics().gauge("serve.sessions_active");
   if (b_.xfs != nullptr) xfs_failed_seen_ = b_.xfs->stats().failed_ops;
 }
@@ -50,6 +70,20 @@ void ServeWorkload::start() {
     closed_sessions_.push_back(std::move(cs));
     schedule_closed(c);
   }
+  // Replayed arrivals: each replay client opens its own cursor over the
+  // trace file (stride-filtered to its residue) and runs the same lazy
+  // one-pending-event chain as the open clients.  Cursor state never
+  // crosses a lane boundary, so thread count cannot change the schedule.
+  if (cfg_.replay.enabled()) {
+    replay::CursorOptions opt;
+    opt.window_bytes = cfg_.replay.window_bytes;
+    replay_cursors_.reserve(cfg_.replay.clients);
+    for (std::uint32_t r = 0; r < cfg_.replay.clients; ++r) {
+      replay_cursors_.push_back(std::make_unique<replay::ClientStrideCursor>(
+          replay::open_trace(cfg_.replay.path, opt), cfg_.replay.clients, r));
+    }
+    for (std::uint32_t r = 0; r < cfg_.replay.clients; ++r) arm_replay(r);
+  }
   if (!pop_.params().sessions.enabled()) {
     // No churn: the whole population is logged in for the whole run.
     sessions_gauge_->set(static_cast<double>(pop_.clients()));
@@ -71,6 +105,28 @@ void ServeWorkload::arm_open(std::uint32_t client) {
       arm_open(client);
     });
   }
+}
+
+void ServeWorkload::arm_replay(std::uint32_t replay_client) {
+  const auto rec = replay_cursors_[replay_client]->next();
+  if (!rec) return;
+  const std::uint32_t client = pop_.clients() + replay_client;
+  sim::SimTime at =
+      cfg_.replay.time_scale == 1.0
+          ? rec->at
+          : static_cast<sim::SimTime>(static_cast<double>(rec->at) /
+                                      cfg_.replay.time_scale);
+  // Timestamps are monotonic per cursor: once past the horizon the rest
+  // of this client's trace is too, so the chain just ends.
+  if (at >= pop_.params().horizon) return;
+  sim::Engine& eng = engine_of(client);
+  if (at < eng.now()) at = eng.now();
+  eng.schedule_at(
+      at, [this, replay_client, client, block = rec->block,
+           is_write = rec->is_write] {
+        issue_replayed(client, block, is_write);
+        arm_replay(replay_client);
+      });
 }
 
 void ServeWorkload::arm_presence(std::uint32_t client,
@@ -176,6 +232,40 @@ void ServeWorkload::issue(std::uint32_t client, bool closed) {
   }
 }
 
+void ServeWorkload::issue_replayed(std::uint32_t client, std::uint64_t block,
+                                   bool is_write) {
+  // Replay bypasses mix_.pick_class/pick_block entirely — the trace fixes
+  // both choices — so the population clients' RNG draw order is untouched
+  // and synthetic results are identical with or without a replay source.
+  LaneCounters& lc = lane_counts_[lane_of(client)];
+  ++lc.arrivals;
+  ++lc.replayed_arrivals;
+  const std::size_t cls = is_write ? replay_write_cls_ : replay_read_cls_;
+  const RequestClass& rc = mix_.at(cls);
+  const sim::SimTime t0 = engine_of(client).now();
+  const net::NodeId node = node_of(client);
+  const xfs::BlockId b = block % rc.working_set;
+  if (b_.central != nullptr) {
+    auto done = [this, client, cls, t0](bool ok) {
+      finish(client, cls, t0, ok, /*closed=*/false);
+    };
+    if (is_write) {
+      b_.central->write(node, b, done);
+    } else {
+      b_.central->read(node, b, done);
+    }
+  } else {
+    auto done = [this, client, cls, t0] {
+      finish(client, cls, t0, !xfs_op_failed(), /*closed=*/false);
+    };
+    if (is_write) {
+      b_.xfs->write(node, b, done);
+    } else {
+      b_.xfs->read(node, b, done);
+    }
+  }
+}
+
 void ServeWorkload::finish(std::uint32_t client, std::size_t cls,
                            sim::SimTime t0, bool ok, bool closed) {
   // Completions run on the issuing client's lane (RPC caller state is
@@ -222,6 +312,7 @@ ServeTotals ServeWorkload::totals() const {
     t.arrivals += lc.arrivals;
     t.open_arrivals += lc.open_arrivals;
     t.closed_arrivals += lc.closed_arrivals;
+    t.replayed_arrivals += lc.replayed_arrivals;
     t.completed += lc.completed;
   }
   t.offered_per_sec = pop_.params().horizon > 0

@@ -55,6 +55,7 @@
 #include "glunix/glunix.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "replay/cursor.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/request_mix.hpp"
 #include "serve/slo.hpp"
@@ -77,12 +78,31 @@ struct Backends {
   coopcache::CacheCosts coop_costs;
 };
 
+/// The third arrival source, next to the population's open and closed
+/// clients: a recorded trace replayed open-loop.  The trace's recorded
+/// client ids are folded onto `clients` replay clients (id % clients),
+/// each of which owns an *independent* cursor over its own file handle —
+/// no reader state is shared across clients, so lane-partitioned runs
+/// stay byte-identical at any thread count.  Replay clients get ids above
+/// the population's and issue file reads/writes through the first
+/// kFileRead / kFileWrite class in the mix (both must exist); recorded
+/// blocks fold onto that class's working set.
+struct ReplayArrivals {
+  std::string path;  // empty = replay disabled
+  std::uint32_t clients = 0;
+  /// Recorded timestamps are divided by this (2 = replay twice as fast).
+  double time_scale = 1.0;
+  std::size_t window_bytes = replay::LineCursor::kDefaultWindow;
+  bool enabled() const { return !path.empty() && clients > 0; }
+};
+
 struct ServeConfig {
   PopulationParams population;
   std::vector<RequestClass> classes;
   /// Cluster node each population client issues from (client i uses
   /// client_nodes[i % size]).  Must be non-empty.
   std::vector<net::NodeId> client_nodes;
+  ReplayArrivals replay;
   std::uint64_t seed = 1;
 };
 
@@ -90,6 +110,7 @@ struct ServeTotals {
   std::uint64_t arrivals = 0;  // requests issued
   std::uint64_t open_arrivals = 0;
   std::uint64_t closed_arrivals = 0;
+  std::uint64_t replayed_arrivals = 0;
   std::uint64_t completed = 0;
   /// arrivals / horizon — the offered load actually generated.
   double offered_per_sec = 0.0;
@@ -127,6 +148,7 @@ class ServeWorkload {
     std::uint64_t arrivals = 0;
     std::uint64_t open_arrivals = 0;
     std::uint64_t closed_arrivals = 0;
+    std::uint64_t replayed_arrivals = 0;
     std::uint64_t completed = 0;
     /// Net login count on this lane (logins - logouts); summed across
     /// lanes it is the live session headcount.
@@ -140,8 +162,11 @@ class ServeWorkload {
   };
 
   void arm_open(std::uint32_t client);
+  void arm_replay(std::uint32_t replay_client);
   void arm_presence(std::uint32_t client, std::optional<Session> window);
   void issue(std::uint32_t client, bool closed);
+  void issue_replayed(std::uint32_t client, std::uint64_t block,
+                      bool is_write);
   void finish(std::uint32_t client, std::size_t cls, sim::SimTime t0,
               bool ok, bool closed);
   void schedule_closed(std::uint32_t client);
@@ -170,6 +195,10 @@ class ServeWorkload {
   std::vector<LaneCounters> lane_counts_;
   std::vector<ArrivalStream> open_streams_;     // one per open client
   std::vector<ClosedSession> closed_sessions_;  // one per closed client
+  /// One independent trace cursor per replay client (own file handle).
+  std::vector<std::unique_ptr<replay::TraceCursor>> replay_cursors_;
+  std::size_t replay_read_cls_ = 0;
+  std::size_t replay_write_cls_ = 0;
   std::vector<SessionTimeline> presence_;       // gauge chains (churn only)
   std::uint64_t xfs_failed_seen_ = 0;
   obs::Gauge* sessions_gauge_ = nullptr;

@@ -3,29 +3,17 @@
 #include <istream>
 #include <limits>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
+
+#include "replay/cursor.hpp"
+
+// The readers here materialize whole traces into vectors for callers that
+// want random access (tests, generators round-tripping).  They are thin
+// wrappers over the streaming cursors in replay/cursor.hpp — one parser,
+// one error-message convention ("trace parse error (...) at line N"), and
+// the same monotonic-timestamp enforcement whether a trace is replayed
+// incrementally or loaded whole.
 
 namespace now::trace {
-
-namespace {
-/// Pulls the next content line; returns false at EOF.
-bool next_line(std::istream& in, std::string* line, std::size_t* lineno) {
-  while (std::getline(in, *line)) {
-    ++*lineno;
-    const auto first = line->find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;     // blank
-    if ((*line)[first] == '#') continue;          // comment
-    return true;
-  }
-  return false;
-}
-
-[[noreturn]] void bad_line(const char* what, std::size_t lineno) {
-  throw std::runtime_error(std::string("trace parse error (") + what +
-                           ") at line " + std::to_string(lineno));
-}
-}  // namespace
 
 void write_fs_trace(std::ostream& out, const std::vector<FsAccess>& trace) {
   out.precision(std::numeric_limits<double>::max_digits10);
@@ -38,21 +26,8 @@ void write_fs_trace(std::ostream& out, const std::vector<FsAccess>& trace) {
 
 std::vector<FsAccess> read_fs_trace(std::istream& in) {
   std::vector<FsAccess> out;
-  std::string line;
-  std::size_t lineno = 0;
-  while (next_line(in, &line, &lineno)) {
-    std::istringstream ls(line);
-    double time_us = 0;
-    FsAccess a;
-    char rw = '?';
-    if (!(ls >> time_us >> a.client >> a.block >> rw) ||
-        (rw != 'r' && rw != 'w')) {
-      bad_line("fs access", lineno);
-    }
-    a.at = sim::from_us(time_us);
-    a.is_write = rw == 'w';
-    out.push_back(a);
-  }
+  replay::FsTraceCursor cur(in);
+  while (auto a = cur.next()) out.push_back(*a);
   return out;
 }
 
@@ -70,18 +45,10 @@ void write_usage_trace(std::ostream& out, const UsageTrace& trace) {
 std::vector<std::vector<BusyInterval>> read_usage_intervals(
     std::istream& in) {
   std::vector<std::vector<BusyInterval>> out;
-  std::string line;
-  std::size_t lineno = 0;
-  while (next_line(in, &line, &lineno)) {
-    std::istringstream ls(line);
-    std::uint32_t node = 0;
-    double begin_us = 0, end_us = 0;
-    if (!(ls >> node >> begin_us >> end_us) || end_us < begin_us) {
-      bad_line("busy interval", lineno);
-    }
-    if (node >= out.size()) out.resize(node + 1);
-    out[node].push_back(
-        BusyInterval{sim::from_us(begin_us), sim::from_us(end_us)});
+  replay::UsageIntervalCursor cur(in);
+  while (auto row = cur.next()) {
+    if (row->node >= out.size()) out.resize(row->node + 1);
+    out[row->node].push_back(row->interval);
   }
   return out;
 }
@@ -98,22 +65,8 @@ void write_parallel_jobs(std::ostream& out,
 
 std::vector<ParallelJob> read_parallel_jobs(std::istream& in) {
   std::vector<ParallelJob> out;
-  std::string line;
-  std::size_t lineno = 0;
-  while (next_line(in, &line, &lineno)) {
-    std::istringstream ls(line);
-    double arrival_us = 0, work_us = 0;
-    ParallelJob j;
-    char kind = '?';
-    if (!(ls >> arrival_us >> j.width >> work_us >> kind) ||
-        (kind != 'p' && kind != 'd') || j.width == 0) {
-      bad_line("parallel job", lineno);
-    }
-    j.arrival = sim::from_us(arrival_us);
-    j.work = sim::from_us(work_us);
-    j.development = kind == 'd';
-    out.push_back(j);
-  }
+  replay::ParallelJobCursor cur(in);
+  while (auto j = cur.next()) out.push_back(*j);
   return out;
 }
 

@@ -1,0 +1,466 @@
+// Tests for now::replay — streaming cursors, format adapters, replay
+// drivers, the profiler, and the ServeWorkload replay arrival source.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "replay/cursor.hpp"
+#include "replay/driver.hpp"
+#include "replay/profile.hpp"
+#include "serve/workload.hpp"
+#include "sim/engine.hpp"
+#include "trace/fs_trace.hpp"
+#include "trace/trace_io.hpp"
+#include "xfs/central_server.hpp"
+
+namespace now::replay {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// LineCursor
+
+TEST(LineCursor, YieldsContentLinesWithNumbers) {
+  std::istringstream in("# comment\n\nalpha\r\n  \nbeta\ngamma");
+  LineCursor lc(in);
+  auto l = lc.next();
+  ASSERT_TRUE(l);
+  EXPECT_EQ(*l, "alpha");  // '\r' stripped
+  EXPECT_EQ(lc.line_number(), 3u);
+  l = lc.next();
+  ASSERT_TRUE(l);
+  EXPECT_EQ(*l, "beta");
+  EXPECT_EQ(lc.line_number(), 5u);
+  l = lc.next();
+  ASSERT_TRUE(l);
+  EXPECT_EQ(*l, "gamma");  // final line without trailing newline
+  EXPECT_EQ(lc.line_number(), 6u);
+  EXPECT_FALSE(lc.next());
+}
+
+TEST(LineCursor, LineLongerThanWindowIsAHardError) {
+  std::string text = "short\n";
+  text.append(300, 'x');
+  text += '\n';
+  std::istringstream in(text);
+  LineCursor lc(in, 64);
+  ASSERT_TRUE(lc.next());
+  try {
+    lc.next();
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("window"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+// The bounded-memory acceptance criterion: a trace far larger than the
+// window replays completely while the reader's footprint stays exactly
+// the window it was constructed with.
+TEST(LineCursor, MemoryStaysAtWindowForTracesMuchLargerThanIt) {
+  constexpr std::size_t kWindow = 4'096;
+  std::ostringstream big;
+  const std::uint64_t kRecords = 200'000;  // ~4 MB of text, 1000x window
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    big << i * 10 << " " << i % 42 << " " << i % 7'000 << " "
+        << (i % 5 == 0 ? 'w' : 'r') << "\n";
+  }
+  std::istringstream in(big.str());
+  ASSERT_GT(in.str().size(), 500 * kWindow);
+  CursorOptions opt;
+  opt.window_bytes = kWindow;
+  FsTraceCursor cur(in, opt);
+  std::uint64_t n = 0;
+  while (auto a = cur.next()) {
+    ++n;
+    EXPECT_EQ(cur.window_bytes(), kWindow);  // never grows
+  }
+  EXPECT_EQ(n, kRecords);
+}
+
+// ---------------------------------------------------------------------------
+// FsTraceCursor and the trace_io wrappers
+
+TEST(FsTraceCursor, MatchesTheMaterializingReader) {
+  trace::FsWorkloadParams p;
+  p.clients = 4;
+  p.accesses_per_client = 500;
+  const auto original = trace::generate_fs_trace(p);
+  std::stringstream buf;
+  trace::write_fs_trace(buf, original);
+  const std::string text = buf.str();
+
+  std::istringstream a(text);
+  const auto wrapped = trace::read_fs_trace(a);
+  std::istringstream b(text);
+  FsTraceCursor cur(b);
+  std::size_t i = 0;
+  while (auto rec = cur.next()) {
+    ASSERT_LT(i, wrapped.size());
+    EXPECT_EQ(rec->at, wrapped[i].at);
+    EXPECT_EQ(rec->client, wrapped[i].client);
+    EXPECT_EQ(rec->block, wrapped[i].block);
+    EXPECT_EQ(rec->is_write, wrapped[i].is_write);
+    ++i;
+  }
+  EXPECT_EQ(i, wrapped.size());
+  EXPECT_EQ(i, original.size());
+}
+
+// ---------------------------------------------------------------------------
+// NFS adapter
+
+const char* kNfsSample =
+    "# ts client op fh offset bytes\n"
+    "1.000000 ws01 getattr fhAA 0 0\n"
+    "1.000100 ws02 read fhAA 16384 8192\n"
+    "1.000200 ws01 write fhBB 0 8192\n"
+    "1.000300 ws03 lookup fhCC 0 0\n"
+    "1.000400 ws02 create fhDD 0 0\n"
+    "1.000500 ws01 read fhAA 9999999999 8192\n";
+
+TEST(NfsTraceCursor, ParsesAndAssignsDenseIds) {
+  std::istringstream in(kNfsSample);
+  NfsTraceCursor cur(in);
+  std::vector<NfsRecord> recs;
+  while (auto r = cur.next()) recs.push_back(*r);
+  ASSERT_EQ(recs.size(), 6u);
+  // First-seen order: ws01 -> 0, ws02 -> 1, ws03 -> 2.
+  EXPECT_EQ(recs[0].client, 0u);
+  EXPECT_EQ(recs[1].client, 1u);
+  EXPECT_EQ(recs[3].client, 2u);
+  EXPECT_EQ(recs[5].client, 0u);
+  // fhAA -> 0, fhBB -> 1, fhCC -> 2, fhDD -> 3.
+  EXPECT_EQ(recs[0].fh, 0u);
+  EXPECT_EQ(recs[2].fh, 1u);
+  EXPECT_EQ(recs[4].fh, 3u);
+  EXPECT_EQ(cur.distinct_clients(), 3u);
+  EXPECT_EQ(cur.distinct_fhs(), 4u);
+  EXPECT_EQ(recs[0].op, NfsOp::kGetattr);
+  EXPECT_EQ(recs[1].op, NfsOp::kRead);
+  EXPECT_EQ(recs[1].bytes, 8'192u);
+  EXPECT_EQ(recs[1].offset, 16'384u);
+}
+
+TEST(NfsFsCursor, AppliesTheOpTable) {
+  std::istringstream in(kNfsSample);
+  NfsMapParams map;  // block_bytes 8192, blocks_per_file 256
+  NfsFsCursor cur(in, {}, map);
+  std::vector<trace::FsAccess> recs;
+  while (auto a = cur.next()) recs.push_back(*a);
+  ASSERT_EQ(recs.size(), 6u);
+  // getattr fhAA (fh 0): metadata read of the inode block.
+  EXPECT_FALSE(recs[0].is_write);
+  EXPECT_EQ(recs[0].block, 0u);
+  // read fhAA offset 16384: data block 0*256 + 16384/8192 = 2.
+  EXPECT_FALSE(recs[1].is_write);
+  EXPECT_EQ(recs[1].block, 2u);
+  // write fhBB (fh 1) offset 0: data block 1*256 + 0.
+  EXPECT_TRUE(recs[2].is_write);
+  EXPECT_EQ(recs[2].block, 256u);
+  // lookup fhCC (fh 2): metadata read of inode block 2*256.
+  EXPECT_FALSE(recs[3].is_write);
+  EXPECT_EQ(recs[3].block, 512u);
+  // create fhDD (fh 3): metadata *write* of inode block 3*256.
+  EXPECT_TRUE(recs[4].is_write);
+  EXPECT_EQ(recs[4].block, 768u);
+  // read past the per-file span clamps to the last block (0*256 + 255).
+  EXPECT_EQ(recs[5].block, 255u);
+}
+
+TEST(NfsTraceCursor, UnknownOpCitesTheLine) {
+  std::istringstream in("1.0 ws01 getattr fhAA 0 0\n1.1 ws01 frobnicate fhAA 0 0\n");
+  NfsTraceCursor cur(in);
+  ASSERT_TRUE(cur.next());
+  try {
+    cur.next();
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown NFS op 'frobnicate'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(NfsTraceCursor, OutOfOrderTimestampsRejected) {
+  std::istringstream in("2.0 ws01 read fhAA 0 8192\n1.0 ws01 read fhAA 0 8192\n");
+  NfsTraceCursor cur(in);
+  ASSERT_TRUE(cur.next());
+  EXPECT_THROW(cur.next(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// File-level helpers
+
+TEST(TraceFile, DetectsFormatAndOpens) {
+  const std::string fs_path = temp_path("now_replay_detect_fs.trace");
+  const std::string nfs_path = temp_path("now_replay_detect_nfs.trace");
+  {
+    std::ofstream f(fs_path);
+    f << "# native\n100 0 7 r\n200 1 9 w\n";
+    std::ofstream n(nfs_path);
+    n << kNfsSample;
+  }
+  EXPECT_EQ(detect_format(fs_path), TraceFormat::kFs);
+  EXPECT_EQ(detect_format(nfs_path), TraceFormat::kNfs);
+
+  auto fs_cur = open_trace(fs_path);
+  auto a = fs_cur->next();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->block, 7u);
+  auto nfs_cur = open_trace(nfs_path);
+  std::uint64_t n = 0;
+  while (nfs_cur->next()) ++n;
+  EXPECT_EQ(n, 6u);
+
+  const std::string bad = temp_path("now_replay_detect_bad.trace");
+  {
+    std::ofstream f(bad);
+    f << "neither fish nor fowl\n";
+  }
+  EXPECT_THROW(detect_format(bad), std::runtime_error);
+  EXPECT_THROW(detect_format(temp_path("now_replay_missing.trace")),
+               std::runtime_error);
+  std::remove(fs_path.c_str());
+  std::remove(nfs_path.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(TraceFile, StrideCursorsPartitionTheTrace) {
+  const std::string path = temp_path("now_replay_stride.trace");
+  {
+    std::ofstream f(path);
+    for (int i = 0; i < 30; ++i) {
+      f << i * 100 << " " << i % 5 << " " << i << " r\n";
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    ClientStrideCursor cur(open_trace(path), 3, r);
+    while (auto a = cur.next()) {
+      EXPECT_EQ(a->client, r);  // rewritten to the residue
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 30u);  // the three views cover the trace exactly
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, SummarizeCountsInOnePass) {
+  const std::string path = temp_path("now_replay_summary.trace");
+  {
+    std::ofstream f(path);
+    f << "100 0 1 r\n200 3 2 w\n300 1 3 r\n";
+  }
+  const TraceSummary s = summarize(path);
+  EXPECT_EQ(s.format, TraceFormat::kFs);
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.clients, 4u);  // max id + 1
+  EXPECT_EQ(s.first_at, sim::from_us(100));
+  EXPECT_EQ(s.last_at, sim::from_us(300));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Replay drivers
+
+TEST(OpenLoopReplay, HonorsRecordedScheduleAndTimeScale) {
+  std::istringstream in("100 0 1 r\n300 0 2 r\n700 0 3 w\n");
+  FsTraceCursor cur(in);
+  sim::Engine eng;
+  std::vector<sim::SimTime> at;
+  OpenLoopReplay drv(eng, cur, 2.0, [&](const trace::FsAccess&,
+                                        std::function<void()> done) {
+    at.push_back(eng.now());
+    eng.schedule_in(5 * sim::kMicrosecond, std::move(done));
+  });
+  drv.start();
+  eng.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], sim::from_us(50));  // recorded / 2
+  EXPECT_EQ(at[1], sim::from_us(150));
+  EXPECT_EQ(at[2], sim::from_us(350));
+  EXPECT_EQ(drv.stats().issued, 3u);
+  EXPECT_EQ(drv.stats().completed, 3u);
+  EXPECT_EQ(drv.stats().late, 0u);
+}
+
+TEST(ClosedLoopReplay, KeepsConcurrencyOutstanding) {
+  std::ostringstream buf;
+  for (int i = 0; i < 10; ++i) buf << i * 1'000 << " 0 " << i << " r\n";
+  std::istringstream in(buf.str());
+  FsTraceCursor cur(in);
+  sim::Engine eng;
+  std::uint64_t in_flight = 0, max_in_flight = 0;
+  ClosedLoopReplay drv(eng, cur, 2, [&](const trace::FsAccess&,
+                                        std::function<void()> done) {
+    ++in_flight;
+    max_in_flight = std::max(max_in_flight, in_flight);
+    eng.schedule_in(10 * sim::kMicrosecond, [&in_flight, done] {
+      --in_flight;
+      done();
+    });
+  });
+  drv.start();
+  eng.run();
+  EXPECT_EQ(drv.stats().issued, 10u);
+  EXPECT_EQ(drv.stats().completed, 10u);
+  EXPECT_EQ(max_in_flight, 2u);  // never more than the concurrency
+  // Ten 10 us ops over two slots: 50 us of simulated time, not 100.
+  EXPECT_EQ(eng.now(), sim::from_us(50));
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+TEST(Profiler, MeasuresMixGapsAndPopularity) {
+  const std::string path = temp_path("now_replay_profile.trace");
+  {
+    // 1000 records, every 4th a write, gaps of 100 us, block popularity
+    // concentrated on block 0 (50 % of accesses).
+    std::ofstream f(path);
+    for (int i = 0; i < 1'000; ++i) {
+      f << i * 100 << " " << i % 8 << " " << (i % 2 ? 1 + i % 100 : 0)
+        << " " << (i % 4 == 3 ? 'w' : 'r') << "\n";
+    }
+  }
+  const TraceProfile p = profile_trace(path);
+  EXPECT_EQ(p.format, TraceFormat::kFs);
+  EXPECT_EQ(p.records, 1'000u);
+  EXPECT_EQ(p.clients, 8u);
+  EXPECT_EQ(p.writes, 250u);
+  EXPECT_EQ(p.reads, 750u);
+  // Odd rows touch the 50 even blocks 2..100; even rows all hit block 0.
+  EXPECT_EQ(p.distinct_blocks, 51u);
+  EXPECT_NEAR(p.mean_gap_us, 100.0, 1.0);
+  EXPECT_NEAR(p.top1_share, 0.5, 0.01);
+  EXPECT_GT(p.zipf_s, 0.0);  // hot block 0 gives a positive skew fit
+  const std::string text = format_profile(p);
+  EXPECT_NE(text.find("records"), std::string::npos);
+  EXPECT_NE(text.find("zipf_s"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Profiler, NfsOpMixIsCounted) {
+  const std::string path = temp_path("now_replay_profile_nfs.trace");
+  {
+    std::ofstream f(path);
+    f << kNfsSample;
+  }
+  const TraceProfile p = profile_trace(path);
+  EXPECT_EQ(p.format, TraceFormat::kNfs);
+  EXPECT_EQ(p.records, 6u);
+  EXPECT_EQ(p.data_ops, 3u);
+  EXPECT_EQ(p.meta_ops, 3u);
+  EXPECT_EQ(p.op_counts[static_cast<std::size_t>(NfsOp::kRead)], 2u);
+  EXPECT_EQ(p.op_counts[static_cast<std::size_t>(NfsOp::kGetattr)], 1u);
+  EXPECT_NEAR(p.mean_data_bytes, 8'192.0, 0.1);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ServeWorkload replay arrival source
+
+std::string run_serve_replay(const std::string& path, unsigned threads) {
+  ClusterConfig cfg;
+  cfg.workstations = 8;
+  cfg.fabric = Fabric::kBuildingNow;
+  cfg.building = net::building_now(2, 4, 2.0);
+  cfg.with_glunix = false;
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kNodeLocal;
+  cfg.seed = 7;
+  Cluster c(cfg);
+
+  xfs::CentralFsParams p;
+  p.client_cache_blocks = 0;
+  std::vector<os::Node*> fsc;
+  for (std::uint32_t i = 1; i < 8; ++i) fsc.push_back(&c.node(i));
+  xfs::CentralServerFs fs(c.rpc(), c.node(0), fsc, p);
+  fs.prewarm(64);
+  fs.start();
+
+  serve::ServeConfig sc;
+  sc.population.clients = 6;
+  sc.population.open_fraction = 1.0;
+  sc.population.offered_per_sec = 50.0;
+  sc.population.horizon = sim::kSecond;
+  serve::RequestClass rd;
+  rd.name = "read";
+  rd.op = serve::RequestOp::kFileRead;
+  rd.slo = 25 * sim::kMillisecond;
+  rd.working_set = 64;
+  serve::RequestClass wr;
+  wr.name = "write";
+  wr.op = serve::RequestOp::kFileWrite;
+  wr.slo = 100 * sim::kMillisecond;
+  wr.working_set = 64;
+  sc.classes = {rd, wr};
+  for (std::uint32_t i = 1; i < 8; ++i) sc.client_nodes.push_back(i);
+  sc.replay.path = path;
+  sc.replay.clients = 3;
+  sc.replay.time_scale = 1.0;
+  sc.seed = 7;
+
+  serve::Backends b;
+  b.central = &fs;
+  serve::ServeWorkload w(c.engine(), b, sc, c.parallel_engine());
+  w.start();
+  c.run_until(1'200 * sim::kMillisecond);
+
+  const serve::ServeTotals t = w.totals();
+  const serve::SloClassReport all = w.slo().overall(sc.population.horizon);
+  std::ostringstream out;
+  out << "arrivals=" << t.arrivals << " open=" << t.open_arrivals
+      << " replayed=" << t.replayed_arrivals
+      << " completed=" << t.completed << " ok=" << all.ok << " p99_us="
+      << static_cast<long long>(all.p99_ms * 1000);
+  return out.str();
+}
+
+TEST(ServeReplay, RecordedArrivalsAreCountedAndServed) {
+  const std::string path = temp_path("now_replay_serve.trace");
+  {
+    // 200 records inside the 1 s horizon, mixed clients, 25 % writes.
+    std::ofstream f(path);
+    for (int i = 0; i < 200; ++i) {
+      f << i * 4'000 << " " << i % 5 << " " << i % 300 << " "
+        << (i % 4 == 0 ? 'w' : 'r') << "\n";
+    }
+  }
+  const std::string r = run_serve_replay(path, 1);
+  EXPECT_NE(r.find("replayed=200"), std::string::npos) << r;
+  std::remove(path.c_str());
+}
+
+TEST(ServeReplay, ThreadCountCannotMoveAnArrival) {
+  const std::string path = temp_path("now_replay_serve_threads.trace");
+  {
+    std::ofstream f(path);
+    for (int i = 0; i < 300; ++i) {
+      f << i * 3'000 << " " << i % 7 << " " << i % 500 << " "
+        << (i % 5 == 0 ? 'w' : 'r') << "\n";
+    }
+  }
+  const std::string t1 = run_serve_replay(path, 1);
+  const std::string t2 = run_serve_replay(path, 2);
+  const std::string t4 = run_serve_replay(path, 4);
+  EXPECT_NE(t1.find("replayed="), std::string::npos);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace now::replay

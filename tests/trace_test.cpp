@@ -245,6 +245,79 @@ TEST(TraceIo, BadIntervalOrderingRejected) {
   EXPECT_THROW(read_usage_intervals(buf), std::runtime_error);
 }
 
+TEST(TraceIo, TruncatedFsLineCitesLineNumber) {
+  std::stringstream buf;
+  buf << "# header\n100 2 77 w\n200 3 12\n";  // missing the r|w field
+  try {
+    read_fs_trace(buf);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, OutOfOrderFsTimestampsRejected) {
+  std::stringstream buf;
+  buf << "200 0 1 r\n100 0 2 r\n";  // time runs backwards
+  try {
+    read_fs_trace(buf);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("out-of-order"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIo, ExtraFsFieldsRejected) {
+  std::stringstream buf;
+  buf << "100 2 77 w trailing-garbage\n";
+  EXPECT_THROW(read_fs_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedIntervalLineCitesLineNumber) {
+  std::stringstream buf;
+  buf << "0 100 500\n1 600\n";  // missing end_us
+  try {
+    read_usage_intervals(buf);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, MalformedParallelJobCitesLineNumber) {
+  std::stringstream buf;
+  buf << "100 8 5000 p\n200 0 5000 p\n";  // zero-width job
+  try {
+    read_parallel_jobs(buf);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, OutOfOrderParallelArrivalsRejected) {
+  std::stringstream buf;
+  buf << "500 8 1000 p\n100 4 1000 d\n";
+  try {
+    read_parallel_jobs(buf);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out-of-order"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, UnknownParallelJobKindRejected) {
+  std::stringstream buf;
+  buf << "100 8 5000 x\n";  // kind must be p or d
+  EXPECT_THROW(read_parallel_jobs(buf), std::runtime_error);
+}
+
 TEST(NfsTrace, NinetyFivePercentUnder200Bytes) {
   NfsWorkloadParams p;
   const auto msgs = generate_nfs_messages(p);

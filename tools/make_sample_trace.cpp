@@ -1,0 +1,123 @@
+// Regenerates the committed sample traces under traces/ — the recordings
+// tests and CI replay without any network access.
+//
+//   $ ./tools/make_sample_trace [output-directory]   (default: traces)
+//
+// Two files, both deterministic (fixed seeds, no wall clock), both small
+// enough to commit:
+//
+//   sample_fs.trace   — the native fs line format, straight from the
+//                       synthetic generator (12 clients, seed 42): the
+//                       round-trip case, so replaying it exercises the
+//                       same distribution the benches synthesize.
+//   sample_nfs.trace  — nfsdump-style text shaped like a small
+//                       departmental NFS server's morning: 10 workstation
+//                       clients, Zipf-popular file handles, a
+//                       getattr/lookup-heavy op mix (attribute checks
+//                       dominate real NFS traffic), bursty think-time
+//                       gaps.  This is the foreign-format case for the
+//                       NfsTraceCursor adapter.
+//
+// CI regenerates both and diffs against the committed files, so edits to
+// the generators here must be committed together with fresh traces.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/random.hpp"
+#include "trace/fs_trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+// The op mix: attribute and name traffic dominates, data ops are a
+// quarter of the stream, mutations are rare — the canonical departmental
+// NFS profile.
+struct OpShare {
+  const char* name;
+  double share;
+  bool is_data;
+};
+constexpr OpShare kMix[] = {
+    {"getattr", 0.30, false}, {"read", 0.24, true},
+    {"lookup", 0.20, false},  {"write", 0.10, true},
+    {"access", 0.06, false},  {"readdir", 0.04, false},
+    {"setattr", 0.02, false}, {"create", 0.02, false},
+    {"remove", 0.01, false},  {"readlink", 0.01, false},
+};
+
+int write_nfs_sample(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "# nfsdump-style sample: <time_sec> <client> <op> <fh> <offset> "
+         "<bytes>\n";
+  now::sim::Pcg32 rng(42, 7);
+  const std::uint32_t kClients = 10;
+  const std::uint32_t kFiles = 400;
+  const now::sim::ZipfSampler popularity(kFiles, 1.05);
+  // Per-file sequential cursor so reads walk forward like real clients.
+  std::vector<std::uint32_t> next_block(kFiles, 0);
+  double t = 0;
+  char line[96];
+  for (int i = 0; i < 3'000; ++i) {
+    // Bursty arrivals: mostly sub-millisecond gaps inside a burst, with
+    // occasional think-time pauses between bursts.
+    t += rng.bernoulli(0.1) ? rng.exponential(0.5)
+                            : rng.exponential(0.0008);
+    const std::uint32_t client = rng.next_below(kClients);
+    const std::uint32_t fh = popularity.sample(rng);
+    double pick = rng.next_double();
+    const OpShare* op = &kMix[0];
+    for (const OpShare& m : kMix) {
+      op = &m;
+      if (pick < m.share) break;
+      pick -= m.share;
+    }
+    std::uint64_t offset = 0;
+    std::uint32_t bytes = 0;
+    if (op->is_data) {
+      bytes = 8'192;
+      offset = std::uint64_t{next_block[fh]} * bytes;
+      next_block[fh] = (next_block[fh] + 1) % 64;
+    }
+    std::snprintf(line, sizeof line, "%.6f ws%02u %s fh%03x %llu %u\n", t,
+                  client, op->name, fh,
+                  static_cast<unsigned long long>(offset), bytes);
+    out << line;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace now;
+  const std::string dir = argc > 1 ? argv[1] : "traces";
+
+  trace::FsWorkloadParams p;
+  p.clients = 12;
+  p.accesses_per_client = 600;
+  p.shared_blocks = 1'024;
+  p.private_blocks = 256;
+  p.seed = 42;
+  const auto fs = trace::generate_fs_trace(p);
+  const std::string fs_path = dir + "/sample_fs.trace";
+  {
+    std::ofstream out(fs_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", fs_path.c_str());
+      return 1;
+    }
+    trace::write_fs_trace(out, fs);
+  }
+  std::printf("wrote %s (%zu accesses, %u clients)\n", fs_path.c_str(),
+              fs.size(), p.clients);
+
+  const std::string nfs_path = dir + "/sample_nfs.trace";
+  if (int rc = write_nfs_sample(nfs_path)) return rc;
+  std::printf("wrote %s (3000 records, 10 clients)\n", nfs_path.c_str());
+  return 0;
+}
